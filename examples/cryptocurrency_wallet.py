@@ -1,0 +1,87 @@
+"""A cryptocurrency wallet making fully signed, diversity-aware spends.
+
+End to end on the real substrate: mint coins, claim them with one-time
+keys, select mixins with the Game-theoretic algorithm (smallest rings =
+lowest fees, the paper's recommendation for cryptocurrency workloads),
+produce a bLSAG ring signature, and have the ledger verify everything —
+including rejecting a double spend.
+
+Run:  python examples/cryptocurrency_wallet.py
+"""
+
+from __future__ import annotations
+
+from repro.chain import (
+    Blockchain,
+    DoubleSpendError,
+    Transaction,
+    Wallet,
+)
+from repro.analysis import exact_analysis, population_metrics
+
+
+def mint_economy() -> tuple[Blockchain, list[Wallet]]:
+    """Create a chain with 10 coinbase transactions claimed by 5 wallets."""
+    chain = Blockchain(verify_signatures=True)
+    wallets = [Wallet(name=f"wallet-{i}") for i in range(5)]
+
+    txs = [Transaction(inputs=(), output_count=3, nonce=i) for i in range(10)]
+    chain.append_block(chain.make_block(txs, timestamp=1.0))
+
+    cursor = 0
+    for tx in txs:
+        owners, pairs = [], []
+        for _ in range(tx.output_count):
+            wallet = wallets[cursor % len(wallets)]
+            keypair = wallet.derive_keypair()
+            owners.append(keypair.public)
+            pairs.append((wallet, keypair))
+            cursor += 1
+        outputs = tx.make_outputs(owners=owners)
+        chain.register_owned_outputs(outputs)
+        for output, (wallet, keypair) in zip(outputs, pairs):
+            wallet.claim_output(output, keypair)
+    return chain, wallets
+
+
+def main() -> None:
+    chain, wallets = mint_economy()
+    print(f"minted {len(chain.universe)} tokens across {chain.height} block(s)")
+
+    alice = wallets[0]
+    token = alice.owned_tokens()[0]
+    print(f"\nalice spends {token[:20]}... with the Game-theoretic selector")
+
+    plan = alice.plan_spend(chain, token, c=2.0, ell=3, algorithm="game")
+    print(f"  ring size {plan.selection.size} "
+          f"(fee = {plan.selection.size - 1} units, "
+          f"{len(plan.selection.modules)} modules)")
+
+    tx = alice.sign_spend(chain, plan, output_count=2)
+    print(f"  signed transaction {tx.tx_id[:16]}..., fee {tx.fee}")
+
+    chain.append_block(chain.make_block([tx], timestamp=2.0))
+    print(f"  block accepted; chain height {chain.height}")
+
+    # The ledger's linkability guard stops a second spend of the token.
+    retry = alice.sign_spend(chain, plan, output_count=1, nonce=1)
+    try:
+        chain.append_block(chain.make_block([retry], timestamp=3.0))
+    except DoubleSpendError as error:
+        print(f"  double spend rejected: {error}")
+
+    # What an adversary sees: the ring on chain, fully ambiguous.
+    rings = list(chain.rings)
+    analysis = exact_analysis(rings)
+    ring = rings[0]
+    print(f"\nadversary view of ring {ring.rid[:16]}...:")
+    print(f"  {len(analysis.possible[ring.rid])} of {len(ring.tokens)} "
+          f"tokens remain possible consumed tokens")
+    metrics = population_metrics(rings, chain.universe)
+    print(f"  population: deanonymization rate "
+          f"{metrics.deanonymization_rate:.0%}, mean anonymity entropy "
+          f"{metrics.mean_token_entropy:.2f} bits")
+
+
+if __name__ == "__main__":
+    main()

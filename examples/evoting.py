@@ -1,0 +1,102 @@
+"""An e-voting station built on ring signatures (paper Section 8).
+
+In a ring-signature e-voting system a "token" is a ballot credential
+and a ring hides *who* cast a given vote.  Latency matters at a polling
+station, so the paper recommends the Progressive algorithm (TM_P):
+near-TM_G ring sizes at a fraction of the time.
+
+The example simulates a queue of voters casting ballots through the
+TokenMagic framework, timing each ring generation, then verifies no
+voter can be linked to their ballot by exact chain-reaction analysis.
+
+Run:  python examples/evoting.py
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.analysis import exact_analysis
+from repro.chain import Blockchain, RingInput, Transaction
+from repro.core import InfeasibleError
+from repro.tokenmagic import TokenMagic, TokenMagicConfig
+
+
+def register_voters(chain: Blockchain, precincts: int, voters_per_precinct: int) -> None:
+    """Each precinct's registration transaction issues ballot credentials.
+
+    The registration transaction is the ballot's historical transaction
+    (HT): recursive diversity then guarantees a vote cannot even be
+    pinned down to a *precinct*, not just to a voter.
+    """
+    txs = [
+        Transaction(inputs=(), output_count=voters_per_precinct, nonce=i)
+        for i in range(precincts)
+    ]
+    chain.append_block(chain.make_block(txs, timestamp=1.0))
+
+
+def main() -> None:
+    precincts, voters_per_precinct = 12, 8
+    chain = Blockchain(verify_signatures=False)
+    register_voters(chain, precincts, voters_per_precinct)
+    total_ballots = precincts * voters_per_precinct
+    print(f"registered {total_ballots} ballots across {precincts} precincts")
+
+    magic = TokenMagic(
+        chain,
+        TokenMagicConfig(batch_lambda=total_ballots, apply_second_config=True),
+    )
+
+    rng = random.Random(2024)
+    ballots = sorted(chain.universe.tokens)
+    rng.shuffle(ballots)
+
+    cast, times, sizes = 0, [], []
+    for voter_index, ballot in enumerate(ballots[:30]):
+        try:
+            # Diversity across >= 4 precincts per ring (c=1, l=4).
+            result = magic.generate_ring(
+                ballot, c=1.0, ell=4, algorithm="progressive", rng=rng
+            )
+        except InfeasibleError:
+            print(f"  voter {voter_index}: no eligible ring (reserve exhausted)")
+            continue
+        magic.commit_ring(result, c=1.0, ell=4)
+        tx = Transaction(
+            inputs=(
+                RingInput(
+                    ring_tokens=tuple(sorted(result.tokens)),
+                    claimed_c=1.0,
+                    claimed_ell=4,
+                ),
+            ),
+            output_count=1,  # the tallied (anonymous) vote
+            nonce=1000 + voter_index,
+        )
+        chain.append_block(chain.make_block([tx], timestamp=10.0 + voter_index))
+        cast += 1
+        times.append(result.elapsed)
+        sizes.append(result.size)
+
+    print(f"\ncast {cast} votes")
+    print(f"  mean ring size      : {statistics.fmean(sizes):.1f} ballots")
+    print(f"  mean selection time : {statistics.fmean(times) * 1000:.2f} ms")
+    print(f"  p95 selection time  : "
+          f"{sorted(times)[int(len(times) * 0.95)] * 1000:.2f} ms")
+    queue_delay = sum(times)
+    print(f"  total queue overhead for {cast} voters: {queue_delay:.2f} s")
+
+    # Coercion resistance check: no ballot-vote link is inferable.
+    rings = list(chain.rings)
+    analysis = exact_analysis(rings)
+    exposed = [rid for rid in analysis.deanonymized]
+    print(f"\nchain-reaction analysis over {len(rings)} votes: "
+          f"{len(exposed)} linkable ballots")
+    worst = min(len(p) for p in analysis.possible.values())
+    print(f"  smallest surviving anonymity set: {worst} ballots")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""A week in the life of a diversity-aware blockchain.
+
+Runs the full-stack economy simulation (mint -> TokenMagic selection ->
+mempool -> mined blocks) under two spending policies, then replays the
+chains through the temporal-anonymity analyzer to show the paper's
+central promise in action: under DA-MS selection, *no later ring ever
+erodes an earlier ring's anonymity*, while naive selection accumulates
+erosion events over time.
+
+Run:  python examples/longitudinal_economy.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import erosion_events, population_metrics
+from repro.core import InfeasibleError, ModuleUniverse, Ring, progressive_select
+from repro.sim import Economy, EconomyConfig
+
+
+def run_diversity_aware(ticks: int) -> Economy:
+    economy = Economy(
+        EconomyConfig(
+            mints_per_tick=2,
+            outputs_per_mint=3,
+            spends_per_tick=2,
+            c=1.0,
+            ell=3,
+            algorithm="progressive",
+            seed=42,
+        )
+    )
+    economy.run(ticks)
+    return economy
+
+
+def run_naive_over(
+    economy: Economy, window: int = 12, zero_mixin_share: float = 0.35
+) -> list[Ring]:
+    """Replay the same token universe with historical naive selection.
+
+    Two realistic defects of size-only selection are modelled (both
+    documented by the traceability studies the paper cites):
+
+    * *recency bias* — mixins come from the ``window`` most recent
+      outputs (Monero draws half its mixins from the last 1.8 days);
+    * *zero-mixin spends* — a share of users minimize fees by spending
+      with no mixins at all, which deanonymizes them outright and
+      cascades into every ring that used their token as a decoy.
+    """
+    universe = economy.chain.universe
+    tokens = sorted(universe.tokens)
+    rng = random.Random(42)
+    rings: list[Ring] = []
+    spent: set[str] = set()
+    spend_count = len(list(economy.chain.rings))
+    for index in range(spend_count):
+        # Interleave with minting: only tokens "so far" are available.
+        horizon = min(len(tokens), window + index * 6)
+        recent = tokens[max(0, horizon - window) : horizon]
+        target = rng.choice([t for t in recent if t not in spent] or recent)
+        spent.add(target)
+        if rng.random() < zero_mixin_share:
+            members = frozenset([target])
+        else:
+            pool = [t for t in recent if t != target]
+            members = frozenset([target, *rng.sample(pool, min(2, len(pool)))])
+        rings.append(Ring(rid=f"naive{index}", tokens=members, seq=index))
+    return rings
+
+
+def main() -> None:
+    ticks = 10
+    economy = run_diversity_aware(ticks)
+
+    print(f"simulated {ticks} ticks "
+          f"({economy.chain.height} blocks, {len(economy.chain.universe)} tokens)")
+    print(f"{'tick':>5} | {'spends ok':>9} | {'relaxed':>7} | {'mean ring':>9}")
+    print("-" * 40)
+    for report in economy.reports:
+        print(f"{report.tick:>5} | {report.successful_spends:>9} | "
+              f"{report.relaxed_spends:>7} | {report.mean_ring_size:>9.1f}")
+
+    dams_rings = sorted(economy.chain.rings, key=lambda r: r.seq)
+    naive_rings = run_naive_over(economy)
+
+    print("\ntemporal anonymity (erosion events = a newer ring shrinking an"
+          " older ring's anonymity set):")
+    for label, rings in (("DA-MS (TM_P)", dams_rings), ("naive (historical)", naive_rings)):
+        events = erosion_events(rings)
+        fatal = sum(1 for e in events if e.fully_deanonymized)
+        print(f"  {label:<14} {len(events):>3} erosion events, "
+              f"{fatal} full deanonymizations")
+
+    print("\nfinal population metrics:")
+    for label, rings in (("DA-MS (TM_P)", dams_rings), ("naive (historical)", naive_rings)):
+        metrics = population_metrics(rings, economy.chain.universe)
+        print(f"  {label:<14} mean effective/nominal ring size "
+              f"{metrics.mean_effective_size:.2f}/{metrics.mean_nominal_size:.2f}, "
+              f"fee {metrics.total_fee}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pinned environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs are unavailable; this classic ``setup.py`` keeps
+``pip install -e .`` working offline via the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

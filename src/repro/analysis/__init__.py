@@ -1,0 +1,39 @@
+"""The adversary substrate: attacks and anonymity metrics.
+
+Implements the threat model of Section 2 — chain-reaction analysis
+(cascade and exact matching-based variants), the homogeneity attack,
+side-information adversaries with the Theorem 6.2 threshold — plus the
+anonymity metrics the benchmarks report.
+"""
+
+from .adversary import Adversary, theorem62_threshold
+from .chain_reaction import AttackResult, cascade_attack, exact_analysis
+from .homogeneity import HomogeneityResult, homogeneity_attack, ht_distribution
+from .metrics import (
+    PopulationMetrics,
+    RingAnonymity,
+    population_metrics,
+    ring_anonymity,
+    total_fee,
+)
+from .temporal import ErosionEvent, TimelinePoint, anonymity_timeline, erosion_events
+
+__all__ = [
+    "Adversary",
+    "theorem62_threshold",
+    "AttackResult",
+    "cascade_attack",
+    "exact_analysis",
+    "HomogeneityResult",
+    "homogeneity_attack",
+    "ht_distribution",
+    "PopulationMetrics",
+    "RingAnonymity",
+    "population_metrics",
+    "ring_anonymity",
+    "total_fee",
+    "TimelinePoint",
+    "ErosionEvent",
+    "anonymity_timeline",
+    "erosion_events",
+]

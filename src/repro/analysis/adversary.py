@@ -1,0 +1,81 @@
+"""A side-information adversary (Definition 3, Theorem 6.2).
+
+The adversary directly knows some token-RS pairs (SI#, e.g. rings it
+generated itself) and infers more (SI*) via chain-reaction analysis and
+DTRS elimination.  :class:`Adversary` packages that workflow and the
+Theorem 6.2 safety threshold: a ring r_i resists HT confirmation as
+long as the adversary's side information holds fewer than
+|r_i| - q_M pairs, q_M being the multiplicity of r_i's most frequent
+HT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.diversity import most_frequent_count
+from ..core.ring import Ring, TokenUniverse
+from .chain_reaction import AttackResult, exact_analysis
+from .homogeneity import HomogeneityResult, homogeneity_attack
+
+__all__ = ["Adversary", "theorem62_threshold"]
+
+
+def theorem62_threshold(ring: Ring, universe: TokenUniverse) -> int:
+    """|r_i| - q_M: the side-information size below which the HT of
+    ``ring``'s consumed token cannot be confirmed (Theorem 6.2)."""
+    counts = universe.ht_counts(ring.tokens)
+    return len(ring.tokens) - most_frequent_count(counts)
+
+
+@dataclass(slots=True)
+class Adversary:
+    """An adversary accumulating side information over a ring set.
+
+    Attributes:
+        universe: token -> HT labels.
+        known_pairs: SI# — directly known {rid: token} assignments.
+    """
+
+    universe: TokenUniverse
+    known_pairs: dict[str, str] = field(default_factory=dict)
+
+    def learn(self, rid: str, token: str) -> None:
+        """Add one revealed token-RS pair to SI#."""
+        existing = self.known_pairs.get(rid)
+        if existing is not None and existing != token:
+            raise ValueError(f"contradictory side information for ring {rid!r}")
+        self.known_pairs[rid] = token
+
+    @property
+    def side_information_size(self) -> int:
+        return len(self.known_pairs)
+
+    def analyze(self, rings: Sequence[Ring]) -> AttackResult:
+        """Chain-reaction analysis under the current side information."""
+        return exact_analysis(rings, self.known_pairs)
+
+    def inferred_pairs(self, rings: Sequence[Ring]) -> dict[str, str]:
+        """SI*: pairs the adversary derives beyond what it was given."""
+        analysis = self.analyze(rings)
+        return {
+            rid: token
+            for rid, token in analysis.deanonymized.items()
+            if rid not in self.known_pairs
+        }
+
+    def source_hts(self, rings: Sequence[Ring]) -> HomogeneityResult:
+        """HTs revealed by the homogeneity attack under current SI."""
+        return homogeneity_attack(
+            rings, self.universe, side_information=self.known_pairs
+        )
+
+    def can_confirm_ht(self, ring: Ring, rings: Sequence[Ring]) -> bool:
+        """Does the adversary currently know ``ring``'s source HT?"""
+        result = self.source_hts(rings)
+        return ring.rid in result.revealed
+
+    def is_safe_by_theorem62(self, ring: Ring) -> bool:
+        """Guaranteed-safe check: |SI| below the Theorem 6.2 threshold."""
+        return self.side_information_size < theorem62_threshold(ring, self.universe)

@@ -1,0 +1,77 @@
+"""The homogeneity attack (Section 1, attributed to t-closeness work).
+
+Even when the exact consumed token stays hidden, the *historical
+transaction* of the consumed token may leak: if every still-possible
+token of a ring comes from the same HT, the adversary learns the ring
+spender is a receiver of that HT.  More gradually, the HT distribution
+over possible tokens quantifies how much the source is narrowed down.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.ring import Ring, TokenUniverse
+from .chain_reaction import AttackResult, exact_analysis
+
+__all__ = ["HomogeneityResult", "homogeneity_attack", "ht_distribution"]
+
+
+@dataclass(frozen=True, slots=True)
+class HomogeneityResult:
+    """Per-ring outcome of the homogeneity attack.
+
+    Attributes:
+        revealed: rid -> HT, for rings whose source HT is certain.
+        ht_support: rid -> number of distinct HTs still possible.
+    """
+
+    revealed: dict[str, str]
+    ht_support: dict[str, int]
+
+    @property
+    def revelation_rate(self) -> float:
+        """Fraction of rings whose source HT leaked."""
+        if not self.ht_support:
+            return 0.0
+        return len(self.revealed) / len(self.ht_support)
+
+
+def ht_distribution(
+    possible_tokens: frozenset[str], universe: TokenUniverse
+) -> Counter[str]:
+    """HT multiset over the still-possible tokens of one ring."""
+    return universe.ht_counts(possible_tokens)
+
+
+def homogeneity_attack(
+    rings: Sequence[Ring],
+    universe: TokenUniverse,
+    side_information: Mapping[str, str] | None = None,
+    chain_reaction: AttackResult | None = None,
+) -> HomogeneityResult:
+    """Run the homogeneity attack on top of chain-reaction elimination.
+
+    Args:
+        rings: the visible rings.
+        universe: token -> HT labels.
+        side_information: known token-RS pairs.
+        chain_reaction: a precomputed elimination result to reuse
+            (defaults to running :func:`exact_analysis`).
+    """
+    analysis = (
+        chain_reaction
+        if chain_reaction is not None
+        else exact_analysis(rings, side_information)
+    )
+    revealed: dict[str, str] = {}
+    support: dict[str, int] = {}
+    for ring in rings:
+        possible = analysis.possible[ring.rid]
+        hts = {universe.ht_of(token) for token in possible}
+        support[ring.rid] = len(hts)
+        if len(hts) == 1 and possible:
+            revealed[ring.rid] = next(iter(hts))
+    return HomogeneityResult(revealed=revealed, ht_support=support)

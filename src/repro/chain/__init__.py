@@ -1,0 +1,59 @@
+"""UTXO blockchain substrate with ring-signature inputs.
+
+Blocks carry transactions; transactions consume tokens through ring
+signatures and output fresh tokens; the ledger enforces key-image
+uniqueness (no double spends), verifies bLSAG proofs and runs pluggable
+Step-3 policy checks.  The selection algorithms in :mod:`repro.core`
+see the chain through its :class:`~repro.core.ring.TokenUniverse` and
+:class:`~repro.core.ring.RingSet` views.
+"""
+
+from .block import GENESIS_HASH, Block
+from .blockchain import Blockchain, PolicyVerifier
+from .errors import (
+    ChainError,
+    ConfigurationViolation,
+    DoubleSpendError,
+    UnknownTokenError,
+    ValidationError,
+)
+from .mempool import Mempool
+from .node import FullNode, LightNode
+from .serialization import (
+    block_from_dict,
+    block_to_dict,
+    chain_from_json,
+    chain_to_json,
+    transaction_from_dict,
+    transaction_to_dict,
+)
+from .token import TokenOutput
+from .transaction import FEE_PER_MIXIN, RingInput, Transaction
+from .wallet import SpendPlan, Wallet
+
+__all__ = [
+    "Block",
+    "GENESIS_HASH",
+    "Blockchain",
+    "PolicyVerifier",
+    "ChainError",
+    "ValidationError",
+    "DoubleSpendError",
+    "UnknownTokenError",
+    "ConfigurationViolation",
+    "FullNode",
+    "LightNode",
+    "TokenOutput",
+    "Transaction",
+    "RingInput",
+    "FEE_PER_MIXIN",
+    "SpendPlan",
+    "Wallet",
+    "Mempool",
+    "chain_to_json",
+    "chain_from_json",
+    "block_to_dict",
+    "block_from_dict",
+    "transaction_to_dict",
+    "transaction_from_dict",
+]

@@ -1,0 +1,74 @@
+"""Blocks: ordered batches of transactions chained by hash.
+
+The block structure is deliberately minimal — height, previous hash,
+timestamp, transactions, and a Merkle-style content digest — because
+the paper's algorithms only consume the ordering of transactions and
+the per-block token counts (TokenMagic's batch construction walks
+blocks in ascending order and counts tokens per block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.hashing import digest_hex
+from .transaction import Transaction
+
+__all__ = ["Block", "GENESIS_HASH"]
+
+#: Previous-hash value of the genesis block.
+GENESIS_HASH = "0" * 64
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """One block of the chain.
+
+    Attributes:
+        height: position in the chain (genesis = 0).
+        prev_hash: hash of the preceding block (GENESIS_HASH for height 0).
+        timestamp: block production time (seconds; logical clocks fine).
+        transactions: ordered transactions in the block.
+        block_hash: content digest, computed on construction.
+    """
+
+    height: int
+    prev_hash: str
+    timestamp: float
+    transactions: tuple[Transaction, ...]
+    block_hash: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError("height must be non-negative")
+        object.__setattr__(self, "block_hash", self._compute_hash())
+
+    def _compute_hash(self) -> str:
+        root = _merkle_root([tx.tx_id for tx in self.transactions])
+        return digest_hex(
+            "repro/block",
+            self.height.to_bytes(8, "little"),
+            self.prev_hash.encode(),
+            int(self.timestamp * 1000).to_bytes(12, "little", signed=True),
+            root.encode(),
+        )
+
+    @property
+    def token_count(self) -> int:
+        """Number of token outputs in the block (t(b) in Section 4)."""
+        return sum(tx.output_count for tx in self.transactions)
+
+
+def _merkle_root(leaves: list[str]) -> str:
+    """Binary Merkle root over transaction ids (duplicating odd tails)."""
+    if not leaves:
+        return digest_hex("repro/merkle-empty")
+    level = [digest_hex("repro/merkle-leaf", leaf.encode()) for leaf in leaves]
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [
+            digest_hex("repro/merkle-node", left.encode(), right.encode())
+            for left, right in zip(level[::2], level[1::2])
+        ]
+    return level[0]

@@ -1,0 +1,208 @@
+"""The ledger: block validation, UTXO tracking and key-image registry.
+
+Implements "Step 3" of the ring-signature scheme (Section 2.1): when a
+block arrives, every ring input is checked —
+
+* all ring members must be existing on-chain tokens,
+* the key image must be unseen (double-spend guard),
+* if a bLSAG proof is attached, it must verify against the ring
+  members' owner keys,
+* pluggable *policy verifiers* enforce extra configurations (the
+  paper's example: Monero's recent-blocks rule; ours: the two practical
+  configurations and the eta reserve rule, supplied by
+  :mod:`repro.tokenmagic`).
+
+The chain also exposes the views the rest of the system needs: the
+token universe (token -> HT) and the ring set proposed so far.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Iterable
+
+from ..core.ring import Ring, RingSet, TokenUniverse
+from ..crypto.hashing import sha512
+from ..crypto.lsag import verify as lsag_verify
+from .block import GENESIS_HASH, Block
+from .errors import DoubleSpendError, UnknownTokenError, ValidationError
+from .token import TokenOutput
+from .transaction import RingInput, Transaction
+
+__all__ = ["Blockchain", "PolicyVerifier"]
+
+#: A policy verifier inspects a candidate ring input against the current
+#: chain state and raises ValidationError (or a subclass) to reject it.
+PolicyVerifier = Callable[["Blockchain", RingInput], None]
+
+
+class Blockchain:
+    """An append-only chain of validated blocks.
+
+    Args:
+        verify_signatures: verify bLSAG proofs on inputs that carry one
+            (pure-python crypto; disable for large simulations).
+        policy_verifiers: extra Step-3 checks applied to every ring input.
+    """
+
+    def __init__(
+        self,
+        verify_signatures: bool = True,
+        policy_verifiers: Iterable[PolicyVerifier] = (),
+    ) -> None:
+        self.blocks: list[Block] = []
+        self.verify_signatures = verify_signatures
+        self.policy_verifiers: list[PolicyVerifier] = list(policy_verifiers)
+        self._tokens: dict[str, TokenOutput] = {}
+        self._key_images: set[bytes] = set()
+        self._rings = RingSet()
+        self._universe = TokenUniverse()
+        self._ring_seq = 0
+
+    # -- chain views -----------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def tip_hash(self) -> str:
+        return self.blocks[-1].block_hash if self.blocks else GENESIS_HASH
+
+    @property
+    def universe(self) -> TokenUniverse:
+        """Token -> HT view over every token ever output."""
+        return self._universe
+
+    @property
+    def rings(self) -> RingSet:
+        """Every ring proposed so far, in proposal order."""
+        return self._rings
+
+    def token(self, token_id: str) -> TokenOutput:
+        try:
+            return self._tokens[token_id]
+        except KeyError:
+            raise UnknownTokenError(f"token {token_id!r} does not exist") from None
+
+    def has_token(self, token_id: str) -> bool:
+        return token_id in self._tokens
+
+    def key_image_seen(self, image_bytes: bytes) -> bool:
+        return image_bytes in self._key_images
+
+    # -- validation & append ----------------------------------------------
+
+    def append_block(self, block: Block) -> None:
+        """Validate ``block`` against the tip and apply it.
+
+        Raises:
+            ValidationError: (or subclass) on any structural, crypto,
+                double-spend or policy failure.  The chain state is
+                unchanged on failure.
+        """
+        if block.height != self.height:
+            raise ValidationError(
+                f"expected height {self.height}, block claims {block.height}"
+            )
+        if block.prev_hash != self.tip_hash:
+            raise ValidationError("previous-hash mismatch")
+
+        # Validate all transactions before mutating any state.
+        new_images: set[bytes] = set()
+        for tx in block.transactions:
+            self._validate_transaction(tx, new_images)
+
+        self.blocks.append(block)
+        for tx in block.transactions:
+            self._apply_transaction(tx)
+
+    def _validate_transaction(self, tx: Transaction, new_images: set[bytes]) -> None:
+        for ring_input in tx.inputs:
+            for token_id in ring_input.ring_tokens:
+                if token_id not in self._tokens:
+                    raise UnknownTokenError(
+                        f"tx {tx.tx_id[:12]} references unknown token {token_id!r}"
+                    )
+            if ring_input.key_image is not None:
+                image = ring_input.key_image.encode()
+                if image in self._key_images or image in new_images:
+                    raise DoubleSpendError(
+                        f"tx {tx.tx_id[:12]}: key image already used"
+                    )
+                new_images.add(image)
+            if self.verify_signatures and ring_input.proof is not None:
+                self._verify_proof(tx, ring_input)
+            for policy in self.policy_verifiers:
+                policy(self, ring_input)
+
+    def _verify_proof(self, tx: Transaction, ring_input: RingInput) -> None:
+        proof = ring_input.proof
+        assert proof is not None
+        owners = []
+        for token_id in ring_input.ring_tokens:
+            owner = self._tokens[token_id].owner
+            if owner is None:
+                raise ValidationError(
+                    f"token {token_id!r} has no owner key; cannot verify proof"
+                )
+            owners.append(owner)
+        if [pk.encode() for pk in proof.ring] != [pk.encode() for pk in owners]:
+            raise ValidationError("proof ring does not match declared token ring")
+        if proof.key_image != ring_input.key_image:
+            raise ValidationError("proof key image does not match declared image")
+        if not lsag_verify(self._message_for(tx), proof):
+            raise ValidationError(f"invalid ring signature in tx {tx.tx_id[:12]}")
+
+    @staticmethod
+    def _message_for(tx: Transaction) -> bytes:
+        """The message a transaction's ring signatures commit to."""
+        return sha512(
+            "repro/tx-message",
+            tx.output_count.to_bytes(4, "little"),
+            tx.nonce.to_bytes(8, "little"),
+            *(",".join(ri.ring_tokens).encode() for ri in tx.inputs),
+        )[:32]
+
+    signing_message = _message_for
+
+    def _apply_transaction(self, tx: Transaction) -> None:
+        for ring_input in tx.inputs:
+            if ring_input.key_image is not None:
+                self._key_images.add(ring_input.key_image.encode())
+            ring = Ring(
+                rid=f"{tx.tx_id}:{self._ring_seq}",
+                tokens=ring_input.token_set(),
+                c=ring_input.claimed_c,
+                ell=ring_input.claimed_ell,
+                seq=self._ring_seq,
+            )
+            self._ring_seq += 1
+            self._rings.add(ring)
+        for output in tx.make_outputs():
+            self._tokens[output.token_id] = output
+            self._universe.add(output.token_id, output.origin_tx)
+
+    # -- convenience ------------------------------------------------------
+
+    def register_owned_outputs(self, outputs: Iterable[TokenOutput]) -> None:
+        """Attach owner keys / commitments to already-applied outputs.
+
+        ``Transaction.make_outputs`` is deterministic, so wallets that
+        know the owner keys re-materialize outputs and register them
+        here to enable signature verification on later spends.
+        """
+        for output in outputs:
+            existing = self._tokens.get(output.token_id)
+            if existing is None:
+                raise UnknownTokenError(f"token {output.token_id!r} does not exist")
+            self._tokens[output.token_id] = output
+
+    def make_block(self, transactions: Iterable[Transaction], timestamp: float | None = None) -> Block:
+        """Assemble (but do not append) the next block."""
+        return Block(
+            height=self.height,
+            prev_hash=self.tip_hash,
+            timestamp=_time.time() if timestamp is None else timestamp,
+            transactions=tuple(transactions),
+        )

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the UTXO blockchain substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChainError",
+    "ValidationError",
+    "DoubleSpendError",
+    "UnknownTokenError",
+    "ConfigurationViolation",
+]
+
+
+class ChainError(Exception):
+    """Base class for all blockchain substrate errors."""
+
+
+class ValidationError(ChainError):
+    """A transaction or block failed verification (Step 3 rejects it)."""
+
+
+class DoubleSpendError(ValidationError):
+    """A key image was seen before: the token is already consumed."""
+
+
+class UnknownTokenError(ValidationError):
+    """A ring references a token that does not exist on chain."""
+
+
+class ConfigurationViolation(ValidationError):
+    """A ring violates one of the practical configurations (Section 6.1)."""

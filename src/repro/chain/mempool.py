@@ -1,0 +1,120 @@
+"""A mempool: pending transactions awaiting block inclusion.
+
+Miners pick transactions by fee (the fee is proportional to the mixin
+count — the paper's economic model), reject key-image conflicts on
+arrival, and evict entries invalidated by newly applied blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .blockchain import Blockchain
+from .errors import DoubleSpendError, UnknownTokenError, ValidationError
+from .transaction import Transaction
+
+__all__ = ["Mempool"]
+
+
+@dataclass(slots=True)
+class Mempool:
+    """Pending-transaction pool attached to one chain.
+
+    Attributes:
+        chain: the chain pending transactions are validated against.
+        max_size: maximum pending transactions; the lowest-fee entry is
+            evicted first when full.
+    """
+
+    chain: Blockchain
+    max_size: int = 10_000
+    _pending: dict[str, Transaction] = field(default_factory=dict)
+    _key_images: dict[bytes, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._pending
+
+    def submit(self, tx: Transaction) -> None:
+        """Validate and enqueue ``tx``.
+
+        Raises:
+            DoubleSpendError: a key image conflicts with the chain or a
+                pending transaction.
+            UnknownTokenError: a ring member does not exist on chain.
+            ValidationError: the pool is full of higher-fee entries.
+        """
+        if tx.tx_id in self._pending:
+            return  # idempotent resubmission
+        for ring_input in tx.inputs:
+            for token in ring_input.ring_tokens:
+                if not self.chain.has_token(token):
+                    raise UnknownTokenError(
+                        f"pending tx references unknown token {token!r}"
+                    )
+            if ring_input.key_image is not None:
+                image = ring_input.key_image.encode()
+                if self.chain.key_image_seen(image):
+                    raise DoubleSpendError("key image already spent on chain")
+                holder = self._key_images.get(image)
+                if holder is not None:
+                    raise DoubleSpendError(
+                        f"key image conflicts with pending tx {holder[:12]}"
+                    )
+        if len(self._pending) >= self.max_size:
+            cheapest = min(self._pending.values(), key=lambda t: t.fee)
+            if cheapest.fee >= tx.fee:
+                raise ValidationError("mempool full of higher-fee transactions")
+            self._evict(cheapest.tx_id)
+        self._pending[tx.tx_id] = tx
+        for ring_input in tx.inputs:
+            if ring_input.key_image is not None:
+                self._key_images[ring_input.key_image.encode()] = tx.tx_id
+
+    def _evict(self, tx_id: str) -> None:
+        tx = self._pending.pop(tx_id)
+        for ring_input in tx.inputs:
+            if ring_input.key_image is not None:
+                self._key_images.pop(ring_input.key_image.encode(), None)
+
+    def select_for_block(self, limit: int) -> list[Transaction]:
+        """Highest-fee pending transactions, ties broken by tx id."""
+        ordered = sorted(
+            self._pending.values(), key=lambda tx: (-tx.fee, tx.tx_id)
+        )
+        return ordered[:limit]
+
+    def mine_block(self, limit: int = 100, timestamp: float | None = None):
+        """Assemble, append and prune a block from the pool.
+
+        Returns the appended block (possibly empty of transactions).
+        Included transactions are always evicted — key image or not —
+        and the pool is then pruned of entries the new block
+        invalidated.
+        """
+        chosen = self.select_for_block(limit)
+        block = self.chain.make_block(chosen, timestamp=timestamp)
+        self.chain.append_block(block)
+        for tx in chosen:
+            self._evict(tx.tx_id)
+        self.prune()
+        return block
+
+    def prune(self) -> int:
+        """Drop entries invalidated by the current chain state.
+
+        Returns the number of evicted transactions.
+        """
+        stale = []
+        for tx in self._pending.values():
+            for ring_input in tx.inputs:
+                if ring_input.key_image is not None and self.chain.key_image_seen(
+                    ring_input.key_image.encode()
+                ):
+                    stale.append(tx.tx_id)
+                    break
+        for tx_id in stale:
+            self._evict(tx_id)
+        return len(stale)

@@ -1,0 +1,72 @@
+"""Full-node and light-node views over the chain (Section 4).
+
+Full-node users store all blockchain data and can build the TokenMagic
+batch list themselves; light-node users query batch data from a full
+node.  Because the batch parameter lambda is a public system parameter
+and everyone agrees on the block list, every node derives the *same*
+batch list — which is what lets mixin universes be a consensus object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.ring import Ring, TokenUniverse
+from .blockchain import Blockchain
+from .errors import ChainError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..tokenmagic.batch import Batch
+
+__all__ = ["FullNode", "LightNode"]
+
+
+class FullNode:
+    """A node holding the full chain; serves batch data to light nodes."""
+
+    def __init__(self, chain: Blockchain, batch_lambda: int) -> None:
+        if batch_lambda < 1:
+            raise ValueError("batch lambda must be >= 1")
+        self.chain = chain
+        self.batch_lambda = batch_lambda
+
+    def batch_list(self) -> list["Batch"]:
+        """The consensus batch list derived from the chain (Section 4)."""
+        from ..tokenmagic.batch import build_batches
+
+        return build_batches(self.chain, self.batch_lambda)
+
+    def batch_of_token(self, token_id: str) -> "Batch":
+        for batch in self.batch_list():
+            if token_id in batch.universe:
+                return batch
+        raise ChainError(f"token {token_id!r} is in no batch")
+
+    def batch_universe(self, batch_index: int) -> TokenUniverse:
+        batches = self.batch_list()
+        if not 0 <= batch_index < len(batches):
+            raise ChainError(f"no batch {batch_index}; chain has {len(batches)}")
+        return batches[batch_index].universe
+
+    def rings_over(self, universe: TokenUniverse) -> list[Ring]:
+        """Rings whose tokens fall inside ``universe`` (a batch's R_pi^T)."""
+        return [
+            ring
+            for ring in self.chain.rings
+            if any(token in universe for token in ring.tokens)
+        ]
+
+
+@dataclass(slots=True)
+class LightNode:
+    """A node that stores no chain data and queries a full node."""
+
+    peer: FullNode
+
+    def batch_for(self, token_id: str) -> "Batch":
+        """Fetch the batch containing ``token_id`` from the peer."""
+        return self.peer.batch_of_token(token_id)
+
+    def mixin_universe(self, token_id: str) -> TokenUniverse:
+        return self.batch_for(token_id).universe

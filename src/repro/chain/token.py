@@ -1,0 +1,46 @@
+"""On-chain token outputs.
+
+A token is a UTXO: an output of some historical transaction (HT),
+controlled by a one-time public key, optionally carrying a Pedersen
+amount commitment.  The token's id doubles as the identifier the
+selection algorithms operate on; its ``origin_tx`` is the HT label used
+by the recursive-diversity semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.commitment import Commitment
+from ..crypto.keys import PublicKey
+
+__all__ = ["TokenOutput"]
+
+
+@dataclass(frozen=True, slots=True)
+class TokenOutput:
+    """One unspent transaction output.
+
+    Attributes:
+        token_id: globally unique id (``<tx_id>:<index>``).
+        origin_tx: id of the transaction that output it (the HT label).
+        index: output position inside the origin transaction.
+        owner: one-time public key controlling the token.
+        commitment: optional hidden-amount commitment.
+    """
+
+    token_id: str
+    origin_tx: str
+    index: int
+    owner: PublicKey | None = None
+    commitment: Commitment | None = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("output index must be non-negative")
+        if not self.token_id:
+            raise ValueError("token id must be non-empty")
+
+    @staticmethod
+    def make_id(tx_id: str, index: int) -> str:
+        return f"{tx_id}:{index}"

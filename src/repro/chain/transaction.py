@@ -1,0 +1,114 @@
+"""Transactions: ring-signature inputs consuming tokens, new token outputs.
+
+A transaction carries one or more :class:`RingInput` objects (each the
+on-chain form of a ring signature: the sorted token-id ring, a key
+image, the bLSAG proof and the ring's claimed diversity requirement)
+plus the fresh outputs it creates.  The fee model follows the paper:
+the fee is proportional to the total number of mixins, which is the
+economic pressure motivating minimum-size rings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.ed25519 import Point
+from ..crypto.hashing import digest_hex
+from ..crypto.lsag import RingSignatureProof
+from .token import TokenOutput
+
+__all__ = ["RingInput", "Transaction", "FEE_PER_MIXIN"]
+
+#: Fee units charged per mixin (paper: fee proportional to ring size).
+FEE_PER_MIXIN = 1
+
+
+@dataclass(frozen=True, slots=True)
+class RingInput:
+    """One ring-signature input of a transaction.
+
+    Attributes:
+        ring_tokens: sorted tuple of token ids forming the ring
+            (consumed token + mixins; which is which is hidden).
+        key_image: the consumed token's key image (double-spend guard).
+        proof: the bLSAG proof, or None for abstract/simulated inputs
+            where only selection semantics are studied.
+        claimed_c: the (c, l)-diversity requirement the ring claims.
+        claimed_ell: see ``claimed_c``.
+    """
+
+    ring_tokens: tuple[str, ...]
+    key_image: Point | None = None
+    proof: RingSignatureProof | None = None
+    claimed_c: float = 1.0
+    claimed_ell: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.ring_tokens:
+            raise ValueError("ring must contain at least one token")
+        if tuple(sorted(self.ring_tokens)) != self.ring_tokens:
+            raise ValueError("ring tokens must be sorted (canonical form)")
+        if len(set(self.ring_tokens)) != len(self.ring_tokens):
+            raise ValueError("ring contains duplicate tokens")
+
+    @property
+    def mixin_count(self) -> int:
+        return len(self.ring_tokens) - 1
+
+    def token_set(self) -> frozenset[str]:
+        return frozenset(self.ring_tokens)
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """A transaction: ring inputs plus new outputs.
+
+    The transaction id is a digest of its canonical content; outputs'
+    token ids are derived from it, making every output's HT label the
+    transaction id itself.
+    """
+
+    inputs: tuple[RingInput, ...]
+    output_count: int
+    nonce: int = 0
+    tx_id: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.output_count < 0:
+            raise ValueError("output count must be non-negative")
+        if not self.inputs and self.output_count == 0:
+            raise ValueError("transaction must have inputs or outputs")
+        object.__setattr__(self, "tx_id", self._compute_id())
+
+    def _compute_id(self) -> str:
+        parts = [self.nonce.to_bytes(8, "little"), self.output_count.to_bytes(4, "little")]
+        for ring_input in self.inputs:
+            parts.append(",".join(ring_input.ring_tokens).encode())
+            if ring_input.key_image is not None:
+                parts.append(ring_input.key_image.encode())
+        return digest_hex("repro/tx-id", *parts)
+
+    @property
+    def fee(self) -> int:
+        """Fee proportional to the number of mixins across all inputs."""
+        return FEE_PER_MIXIN * sum(ring.mixin_count for ring in self.inputs)
+
+    def make_outputs(self, owners=None, commitments=None) -> tuple[TokenOutput, ...]:
+        """Materialize this transaction's token outputs.
+
+        Args:
+            owners: optional list of one public key per output.
+            commitments: optional list of one commitment per output.
+        """
+        outputs = []
+        for index in range(self.output_count):
+            outputs.append(
+                TokenOutput(
+                    token_id=TokenOutput.make_id(self.tx_id, index),
+                    origin_tx=self.tx_id,
+                    index=index,
+                    owner=owners[index] if owners else None,
+                    commitment=commitments[index] if commitments else None,
+                )
+            )
+        return tuple(outputs)

@@ -1,0 +1,196 @@
+"""A wallet: key management, signing, and diversity-aware spending.
+
+The wallet ties the layers together on the sending side: it owns
+one-time key pairs, knows which on-chain tokens it controls, asks a
+mixin *selector* (any of the paper's algorithms) for a ring around the
+token it wants to spend, and produces a fully signed transaction the
+ledger will accept.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.modules import ModuleUniverse
+from ..core.selector import SelectionResult, Selector, get_selector
+from ..crypto.keys import KeyPair, keypair_from_seed
+from .blockchain import Blockchain
+from .errors import ValidationError
+from .token import TokenOutput
+from .transaction import RingInput, Transaction
+
+__all__ = ["Wallet", "SpendPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpendPlan:
+    """A selected-but-unsigned spend: the ring plus bookkeeping."""
+
+    token_id: str
+    selection: SelectionResult
+    claimed_c: float
+    claimed_ell: int
+
+
+@dataclass(slots=True)
+class Wallet:
+    """Keys and tokens of one user.
+
+    Attributes:
+        name: human label; also the key-derivation namespace.
+        keys: token id -> controlling key pair.
+    """
+
+    name: str
+    keys: dict[str, KeyPair] = field(default_factory=dict)
+    _counter: int = 0
+
+    def derive_keypair(self) -> KeyPair:
+        """Derive the wallet's next deterministic one-time key pair."""
+        self._counter += 1
+        return keypair_from_seed(f"{self.name}/{self._counter}")
+
+    def claim_output(self, output: TokenOutput, keypair: KeyPair) -> None:
+        """Record that ``output`` is controlled by ``keypair``."""
+        if output.owner is not None and output.owner.encode() != keypair.public.encode():
+            raise ValidationError(
+                f"output {output.token_id!r} is not owned by this key pair"
+            )
+        self.keys[output.token_id] = keypair
+
+    def owned_tokens(self) -> list[str]:
+        return sorted(self.keys)
+
+    # -- spending ----------------------------------------------------------
+
+    def plan_spend(
+        self,
+        chain: Blockchain,
+        token_id: str,
+        c: float,
+        ell: int,
+        algorithm: str | Selector = "progressive",
+        rng: random.Random | None = None,
+    ) -> SpendPlan:
+        """Choose mixins for ``token_id`` with the given selector.
+
+        The module universe is derived from the full chain state; for
+        batched selection use :class:`repro.tokenmagic.TokenMagic`
+        instead, which restricts the universe to the token's batch.
+        """
+        if token_id not in self.keys:
+            raise ValidationError(f"wallet {self.name!r} does not own {token_id!r}")
+        selector = get_selector(algorithm) if isinstance(algorithm, str) else algorithm
+        modules = ModuleUniverse(chain.universe, list(chain.rings))
+        selection = selector(modules, token_id, c, ell, rng=rng)
+        return SpendPlan(token_id=token_id, selection=selection, claimed_c=c, claimed_ell=ell)
+
+    def sign_spend(
+        self,
+        chain: Blockchain,
+        plan: SpendPlan,
+        output_count: int = 1,
+        nonce: int = 0,
+    ) -> Transaction:
+        """Turn a spend plan into a fully signed transaction.
+
+        Requires every ring member to carry an owner key on chain (so
+        verifiers can check the proof).
+        """
+        from ..crypto.lsag import sign
+
+        keypair = self.keys[plan.token_id]
+        ring_tokens = tuple(sorted(plan.selection.tokens))
+        ring_keys = []
+        for member in ring_tokens:
+            owner = chain.token(member).owner
+            if owner is None:
+                raise ValidationError(
+                    f"ring member {member!r} has no owner key on chain"
+                )
+            ring_keys.append(owner)
+
+        unsigned = Transaction(
+            inputs=(
+                RingInput(
+                    ring_tokens=ring_tokens,
+                    key_image=keypair.key_image(),
+                    proof=None,
+                    claimed_c=plan.claimed_c,
+                    claimed_ell=plan.claimed_ell,
+                ),
+            ),
+            output_count=output_count,
+            nonce=nonce,
+        )
+        message = Blockchain._message_for(unsigned)
+        proof = sign(message, ring_keys, keypair)
+        return Transaction(
+            inputs=(
+                RingInput(
+                    ring_tokens=ring_tokens,
+                    key_image=keypair.key_image(),
+                    proof=proof,
+                    claimed_c=plan.claimed_c,
+                    claimed_ell=plan.claimed_ell,
+                ),
+            ),
+            output_count=output_count,
+            nonce=nonce,
+        )
+
+    def sign_multi_spend(
+        self,
+        chain: Blockchain,
+        plans: list[SpendPlan],
+        output_count: int = 1,
+        nonce: int = 0,
+    ) -> Transaction:
+        """Spend several tokens in one transaction (Figure 1's shape).
+
+        Each plan becomes one ring input with its own bLSAG proof; all
+        proofs commit to the same transaction message, so the inputs
+        cannot be re-bundled by an attacker.
+        """
+        from ..crypto.lsag import sign
+
+        if not plans:
+            raise ValidationError("a multi-spend needs at least one plan")
+        images = [self.keys[plan.token_id].key_image() for plan in plans]
+        if len({image.encode() for image in images}) != len(images):
+            raise ValidationError("plans spend the same token twice")
+
+        def inputs_with(proofs: list | None) -> tuple[RingInput, ...]:
+            built = []
+            for index, plan in enumerate(plans):
+                built.append(
+                    RingInput(
+                        ring_tokens=tuple(sorted(plan.selection.tokens)),
+                        key_image=images[index],
+                        proof=proofs[index] if proofs else None,
+                        claimed_c=plan.claimed_c,
+                        claimed_ell=plan.claimed_ell,
+                    )
+                )
+            return tuple(built)
+
+        unsigned = Transaction(
+            inputs=inputs_with(None), output_count=output_count, nonce=nonce
+        )
+        message = Blockchain._message_for(unsigned)
+        proofs = []
+        for plan in plans:
+            keypair = self.keys[plan.token_id]
+            ring_keys = []
+            for member in sorted(plan.selection.tokens):
+                owner = chain.token(member).owner
+                if owner is None:
+                    raise ValidationError(
+                        f"ring member {member!r} has no owner key on chain"
+                    )
+                ring_keys.append(owner)
+            proofs.append(sign(message, ring_keys, keypair))
+        return Transaction(
+            inputs=inputs_with(proofs), output_count=output_count, nonce=nonce
+        )

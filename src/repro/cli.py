@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate any figure from a terminal.
+
+Usage::
+
+    python -m repro.cli fig3
+    python -m repro.cli fig5 --instances 100 --seed 3
+    python -m repro.cli fig4 --budget 30
+    python -m repro.cli sim --ticks 20
+
+Each figure command prints the same table its benchmark writes; the
+``sim`` command runs the longitudinal economy simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments.figures import (
+    fig3_output_distribution,
+    fig4_bfs_scaling,
+    fig5_vary_c,
+    fig6_vary_ell,
+    fig7_vary_sigma,
+    fig8_vary_super_count,
+    fig9_vary_super_size,
+    fig10_vary_fresh,
+)
+from .experiments.harness import format_table
+
+__all__ = ["main"]
+
+_SWEEPS: dict[str, Callable] = {
+    "fig5": fig5_vary_c,
+    "fig6": fig6_vary_ell,
+    "fig7": fig7_vary_sigma,
+    "fig8": fig8_vary_super_count,
+    "fig9": fig9_vary_super_size,
+    "fig10": fig10_vary_fresh,
+}
+
+
+def _run_fig3(args: argparse.Namespace) -> None:
+    distribution = fig3_output_distribution(seed=args.seed)
+    print(f"{'outputs/tx':>10} | {'transactions':>12}")
+    print("-" * 26)
+    for outputs in sorted(distribution):
+        print(f"{outputs:>10} | {distribution[outputs]:>12}")
+    print(f"\ntotal: {sum(distribution.values())} transactions, "
+          f"{sum(k * v for k, v in distribution.items())} tokens")
+
+
+def _run_fig4(args: argparse.Namespace) -> None:
+    measurements = fig4_bfs_scaling(time_budget=args.budget, seed=args.seed)
+    print(f"{'i-th RS':>8} | {'time (s)':>10} | {'ring size':>9} | outcome")
+    print("-" * 48)
+    for m in measurements:
+        print(f"{m.ring_index:>8} | {m.elapsed:>10.4f} | {m.ring_size:>9} | "
+              f"{m.outcome}")
+
+
+def _run_sweep(name: str, args: argparse.Namespace) -> None:
+    sweep = _SWEEPS[name](instances_per_point=args.instances, seed=args.seed)
+    print("Mean ring size:")
+    print(format_table(sweep, "mean_size"))
+    print("\nMean selection time (s):")
+    print(format_table(sweep, "mean_time"))
+
+
+def _run_sim(args: argparse.Namespace) -> None:
+    from .sim import Economy, EconomyConfig
+
+    economy = Economy(
+        EconomyConfig(algorithm=args.algorithm, seed=args.seed)
+    )
+    print(f"{'tick':>5} | {'minted':>6} | {'spends ok':>9} | "
+          f"{'relaxed':>7} | {'infeasible':>10} | {'mean size':>9}")
+    print("-" * 64)
+    for report in economy.run(args.ticks):
+        print(
+            f"{report.tick:>5} | {report.minted_tokens:>6} | "
+            f"{report.successful_spends:>9} | {report.relaxed_spends:>7} | "
+            f"{report.infeasible_spends:>10} | {report.mean_ring_size:>9.1f}"
+        )
+    metrics = economy.anonymity()
+    if metrics is not None:
+        print(f"\nfinal population: {metrics.ring_count} rings, "
+              f"deanonymization rate {metrics.deanonymization_rate:.1%}, "
+              f"mean effective ring size {metrics.mean_effective_size:.2f}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures or run the economy sim.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig3 = sub.add_parser("fig3", help="output-count distribution (real)")
+    fig3.add_argument("--seed", type=int, default=0)
+
+    fig4 = sub.add_parser("fig4", help="BFS per-ring time explosion")
+    fig4.add_argument("--seed", type=int, default=0)
+    fig4.add_argument("--budget", type=float, default=15.0,
+                      help="per-ring wall-clock budget in seconds")
+
+    for name, help_text in [
+        ("fig5", "vary c (real)"),
+        ("fig6", "vary l (real)"),
+        ("fig7", "vary sigma (synthetic)"),
+        ("fig8", "vary |S| (synthetic)"),
+        ("fig9", "vary |s_i| (synthetic)"),
+        ("fig10", "vary |F| (synthetic)"),
+    ]:
+        sweep = sub.add_parser(name, help=help_text)
+        sweep.add_argument("--instances", type=int, default=25,
+                           help="instances per sweep point (paper: 1000)")
+        sweep.add_argument("--seed", type=int, default=0)
+
+    sim = sub.add_parser("sim", help="longitudinal economy simulation")
+    sim.add_argument("--ticks", type=int, default=10)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--algorithm", default="progressive",
+                     choices=["progressive", "game", "smallest", "random"])
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "fig3":
+        _run_fig3(args)
+    elif args.command == "fig4":
+        _run_fig4(args)
+    elif args.command == "sim":
+        _run_sim(args)
+    else:
+        _run_sweep(args.command, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

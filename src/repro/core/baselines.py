@@ -1,0 +1,95 @@
+"""The paper's two baseline selectors — Smallest (TM_S) and Random (TM_R).
+
+Section 7.1: the Smallest algorithm repeatedly adds the smallest
+remaining module (super RS or fresh token) until the ring is eligible;
+the Random algorithm repeatedly adds a uniformly random remaining
+module until eligible.  "Eligible" means the ring's HT multiset
+satisfies the recursive (c, l)-diversity requirement — the same target
+the Progressive and Game-theoretic selectors aim for, just without any
+diversity-aware scoring.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from .diversity import ht_counts_satisfy
+from .modules import Module, ModuleUniverse
+from .problem import InfeasibleError
+from .selector import SelectionResult, register_selector
+
+__all__ = ["smallest_select", "random_select"]
+
+PickFn = Callable[[list[Module]], Module]
+
+
+def _grow_until_eligible(
+    modules: ModuleUniverse,
+    target_token: str,
+    c: float,
+    ell: int,
+    pick: PickFn,
+    algorithm: str,
+) -> SelectionResult:
+    """Common loop: add modules chosen by ``pick`` until diversity holds."""
+    start = time.perf_counter()
+    universe = modules.universe
+    anchor = modules.module_of(target_token)
+    available: list[Module] = modules.others(anchor)
+    chosen: list[Module] = [anchor]
+    tokens: set[str] = set(anchor.tokens)
+
+    while not ht_counts_satisfy(universe.ht_counts(tokens), c, ell):
+        if not available:
+            raise InfeasibleError(
+                f"universe exhausted before ({c}, {ell})-diversity was met "
+                f"for token {target_token!r}"
+            )
+        module = pick(available)
+        available.remove(module)
+        chosen.append(module)
+        tokens |= module.tokens
+
+    return SelectionResult(
+        tokens=frozenset(tokens),
+        target_token=target_token,
+        modules=tuple(module.mid for module in chosen),
+        elapsed=time.perf_counter() - start,
+        algorithm=algorithm,
+    )
+
+
+@register_selector("smallest")
+def smallest_select(
+    modules: ModuleUniverse,
+    target_token: str,
+    c: float,
+    ell: int,
+    rng: random.Random | None = None,
+) -> SelectionResult:
+    """TM_S: repeatedly add the smallest module until eligible."""
+    del rng
+
+    def pick(available: list[Module]) -> Module:
+        return min(available, key=lambda module: (len(module.tokens), module.mid))
+
+    return _grow_until_eligible(modules, target_token, c, ell, pick, "smallest")
+
+
+@register_selector("random")
+def random_select(
+    modules: ModuleUniverse,
+    target_token: str,
+    c: float,
+    ell: int,
+    rng: random.Random | None = None,
+) -> SelectionResult:
+    """TM_R: repeatedly add a uniformly random module until eligible."""
+    generator = rng if rng is not None else random.Random()
+
+    def pick(available: list[Module]) -> Module:
+        return available[generator.randrange(len(available))]
+
+    return _grow_until_eligible(modules, target_token, c, ell, pick, "random")

@@ -1,0 +1,127 @@
+"""The exact breadth-first-search solver for DA-MS — Algorithm 2.
+
+Searches candidate mixin sets in ascending size order (sizes start at
+l_tau - 1 since at least l_tau distinct HTs are needed), so the first
+candidate passing all three constraints is a minimum-cardinality
+optimum.  The per-candidate checks mirror the paper:
+
+1. the candidate's own HT multiset must satisfy (c, l)-diversity
+   (cheap; done first to prune),
+2. the non-eliminated constraint over the closure,
+3. every ring in the closure — existing rings under their own claimed
+   (c_k, l_k), the candidate under (c_tau, l_tau) — must have all its
+   DTRSs diversity-compliant.
+
+The search space is O(2^n) candidates and the DTRS check is itself
+exponential (Theorem 3.1 says no better exact method is expected);
+Figure 4 of the paper measures exactly this blow-up and so does the
+``bench_fig04_bfs_scaling`` benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import combinations as subset_combinations
+
+from .diversity import ht_counts_satisfy
+from .dtrs import get_dtrss
+from .problem import (
+    DamsInstance,
+    InfeasibleError,
+    check_non_eliminated_constraint,
+)
+from .ring import Ring
+
+__all__ = ["BfsResult", "bfs_select", "SearchBudgetExceeded"]
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the exact search exceeds its time/node budget."""
+
+
+@dataclass(frozen=True, slots=True)
+class BfsResult:
+    """Outcome of the exact search.
+
+    Attributes:
+        ring: the optimal ring (target token + minimal mixins).
+        mixins: the chosen mixin set.
+        candidates_checked: number of candidate rings examined.
+        elapsed: wall-clock seconds spent.
+    """
+
+    ring: Ring
+    mixins: frozenset[str]
+    candidates_checked: int
+    elapsed: float
+
+
+def bfs_select(
+    instance: DamsInstance,
+    time_budget: float | None = None,
+    max_mixins: int | None = None,
+) -> BfsResult:
+    """Run Algorithm 2 on ``instance`` and return the optimal ring.
+
+    Args:
+        instance: the DA-MS instance.
+        time_budget: optional wall-clock cap in seconds; exceeding it
+            raises :class:`SearchBudgetExceeded` (the paper's Figure 4
+            run hit 2 hours for the 8th RS — callers need a guard).
+        max_mixins: optional cap on the mixin-set size to search.
+
+    Raises:
+        InfeasibleError: the full search space holds no feasible ring.
+        SearchBudgetExceeded: the time budget ran out first.
+    """
+    start = time.perf_counter()
+    sigma = sorted(instance.candidate_mixins())
+    upper = len(sigma) if max_mixins is None else min(max_mixins, len(sigma))
+    lower = max(0, instance.ell - 1)
+    checked = 0
+
+    for size in range(lower, upper + 1):
+        for mixin_tuple in subset_combinations(sigma, size):
+            if time_budget is not None and time.perf_counter() - start > time_budget:
+                raise SearchBudgetExceeded(
+                    f"exact BFS exceeded {time_budget:.1f}s after {checked} candidates"
+                )
+            checked += 1
+            candidate = instance.make_ring(mixin_tuple)
+            if _candidate_feasible(instance, candidate):
+                return BfsResult(
+                    ring=candidate,
+                    mixins=frozenset(mixin_tuple),
+                    candidates_checked=checked,
+                    elapsed=time.perf_counter() - start,
+                )
+    raise InfeasibleError(
+        f"no feasible ring for token {instance.target_token!r} under "
+        f"({instance.c}, {instance.ell})-diversity"
+    )
+
+
+def _candidate_feasible(instance: DamsInstance, candidate: Ring) -> bool:
+    """Lines 5-22 of Algorithm 2 for a single candidate ring."""
+    universe = instance.universe
+    # Line 6-8: the candidate's own HT multiset first — cheapest filter.
+    if not ht_counts_satisfy(
+        universe.ht_counts(candidate.tokens), candidate.c, candidate.ell
+    ):
+        return False
+
+    related = instance.related_rings(candidate)
+    closure = related + [candidate]
+
+    # Lines 9-16: non-eliminated over the closure.
+    if not check_non_eliminated_constraint(closure):
+        return False
+
+    # Lines 17-22: every ring's DTRSs must satisfy that ring's own
+    # claimed requirement (the candidate's is (c_tau, l_tau)).
+    for ring in closure:
+        for dtrs in get_dtrss(ring, closure, universe):
+            if not ht_counts_satisfy(universe.ht_counts(dtrs.tokens), ring.c, ring.ell):
+                return False
+    return True

@@ -1,0 +1,199 @@
+"""Token-RS combinations: systems of distinct representatives over rings.
+
+Definition 6 of the paper: a *token-RS combination* of a ring set R is
+an injective assignment of one consumed token to every ring, i.e. a
+perfect matching of R into the token universe (this is exactly why the
+decision problem reduces from counting perfect matchings, Theorem 3.1).
+
+Two views are provided:
+
+* :func:`enumerate_combinations` — full enumeration, needed by the
+  DTRS computation of Algorithm 3 (exponential; the paper's Figure 4
+  measures exactly this blow-up);
+* matching-based polynomial predicates
+  (:func:`has_complete_assignment`, :func:`possible_consumed_tokens`)
+  that answer "can ring r consume token t in *some* valid world?" —
+  which is all the non-eliminated constraint needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .ring import Ring
+
+__all__ = [
+    "enumerate_combinations",
+    "count_combinations",
+    "has_complete_assignment",
+    "possible_consumed_tokens",
+    "eliminated_tokens",
+]
+
+
+def _candidate_lists(
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None = None,
+    excluded_tokens: Iterable[str] = (),
+) -> list[list[str]] | None:
+    """Per-ring candidate token lists after applying constraints.
+
+    Returns None if some ring has no candidates left (no valid world).
+    """
+    forced = dict(forced or {})
+    excluded = set(excluded_tokens)
+    candidates: list[list[str]] = []
+    for ring in rings:
+        if ring.rid in forced:
+            token = forced[ring.rid]
+            if token not in ring.tokens or token in excluded:
+                return None
+            candidates.append([token])
+        else:
+            usable = sorted(ring.tokens - excluded)
+            if not usable:
+                return None
+            candidates.append(usable)
+    return candidates
+
+
+def enumerate_combinations(
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None = None,
+    excluded_tokens: Iterable[str] = (),
+    limit: int | None = None,
+) -> Iterator[dict[str, str]]:
+    """Yield every token-RS combination of ``rings`` as {rid: token}.
+
+    Args:
+        rings: the ring set R (order is irrelevant to the result).
+        forced: known token-RS pairs (adversary side information or a
+            hypothesis being tested); each forces one ring's token.
+        excluded_tokens: tokens known consumed in rings *outside* R.
+        limit: stop after this many combinations (safety valve for
+            callers that only need to know "more than k exist").
+
+    Backtracking assigns most-constrained rings first, which keeps the
+    common sparse instances fast even though the worst case is
+    exponential by Theorem 3.1.
+    """
+    candidates = _candidate_lists(rings, forced, excluded_tokens)
+    if candidates is None:
+        return
+    order = sorted(range(len(rings)), key=lambda i: len(candidates[i]))
+    used: set[str] = set()
+    assignment: dict[str, str] = {}
+    emitted = 0
+
+    def backtrack(position: int) -> Iterator[dict[str, str]]:
+        nonlocal emitted
+        if limit is not None and emitted >= limit:
+            return
+        if position == len(order):
+            emitted += 1
+            yield dict(assignment)
+            return
+        ring_index = order[position]
+        ring = rings[ring_index]
+        for token in candidates[ring_index]:
+            if token in used:
+                continue
+            used.add(token)
+            assignment[ring.rid] = token
+            yield from backtrack(position + 1)
+            used.discard(token)
+            del assignment[ring.rid]
+            if limit is not None and emitted >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def count_combinations(
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None = None,
+    excluded_tokens: Iterable[str] = (),
+    limit: int | None = None,
+) -> int:
+    """Count token-RS combinations (up to ``limit`` if given)."""
+    total = 0
+    for _ in enumerate_combinations(rings, forced, excluded_tokens, limit=limit):
+        total += 1
+    return total
+
+
+def has_complete_assignment(
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None = None,
+    excluded_tokens: Iterable[str] = (),
+) -> bool:
+    """Polynomial check: does *any* token-RS combination exist?
+
+    Uses Kuhn's augmenting-path maximum bipartite matching.  Forced
+    pairs are honoured by shrinking the forced ring's candidate list to
+    a single token.
+    """
+    candidates = _candidate_lists(rings, forced, excluded_tokens)
+    if candidates is None:
+        return False
+    match_of_token: dict[str, int] = {}
+    # Assign most-constrained rings first to fail fast.
+    order = sorted(range(len(rings)), key=lambda i: len(candidates[i]))
+
+    def try_assign(ring_index: int, visited: set[str]) -> bool:
+        for token in candidates[ring_index]:
+            if token in visited:
+                continue
+            visited.add(token)
+            holder = match_of_token.get(token)
+            if holder is None or try_assign(holder, visited):
+                match_of_token[token] = ring_index
+                return True
+        return False
+
+    for ring_index in order:
+        if not try_assign(ring_index, set()):
+            return False
+    return True
+
+
+def possible_consumed_tokens(
+    target: Ring,
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None = None,
+    excluded_tokens: Iterable[str] = (),
+) -> frozenset[str]:
+    """Tokens ``target`` can consume in at least one valid world.
+
+    ``rings`` must contain ``target``.  A token survives iff forcing
+    target -> token still leaves a complete assignment for all rings.
+    """
+    if all(ring.rid != target.rid for ring in rings):
+        raise ValueError("target ring must be a member of the ring set")
+    base_forced = dict(forced or {})
+    if target.rid in base_forced:
+        # The target's pair is already known (adversary side
+        # information); its only possible token is the forced one,
+        # provided the constraint system stays satisfiable.
+        known = base_forced[target.rid]
+        if has_complete_assignment(rings, base_forced, excluded_tokens):
+            return frozenset({known})
+        return frozenset()
+    survivors = set()
+    for token in target.tokens:
+        base_forced[target.rid] = token
+        if has_complete_assignment(rings, base_forced, excluded_tokens):
+            survivors.add(token)
+    return frozenset(survivors)
+
+
+def eliminated_tokens(
+    target: Ring,
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None = None,
+    excluded_tokens: Iterable[str] = (),
+) -> frozenset[str]:
+    """Tokens of ``target`` ruled out by chain-reaction analysis."""
+    return frozenset(target.tokens) - possible_consumed_tokens(
+        target, rings, forced, excluded_tokens
+    )

@@ -1,0 +1,157 @@
+"""Definite token-RS pair sets (DTRSs) — Definition 2 and Algorithm 3.
+
+A DTRS of a ring r_k at time pi is a *minimal* set of token-RS pairs
+d = {<t_1, r_1>, ...} whose revelation pins down the historical
+transaction (HT) of r_k's consumed token: in every valid token-RS
+combination consistent with d, r_k's consumed token comes from the same
+HT.
+
+The exact computation (:func:`get_dtrss`, the paper's GetDTRSs
+procedure) enumerates all token-RS combinations and is exponential —
+this is intentional, the whole point of Section 6 is replacing it with
+the polynomial Theorem 6.1 check under the practical configurations
+(see :mod:`repro.core.modules`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations as subset_combinations
+from typing import Iterable, Sequence
+
+from .ring import Ring, TokenUniverse
+
+__all__ = ["Dtrs", "get_dtrss", "ring_is_recursive_diverse_exact"]
+
+
+@dataclass(frozen=True, slots=True)
+class Dtrs:
+    """A definite token-RS pair set for some target ring.
+
+    Attributes:
+        pairs: frozenset of (token, rid) pairs whose joint revelation
+            determines the target's consumed-token HT.
+        determined_ht: the HT that becomes certain once ``pairs`` leak.
+    """
+
+    pairs: frozenset[tuple[str, str]]
+    determined_ht: str
+
+    @property
+    def tokens(self) -> frozenset[str]:
+        """The token set of the DTRS (what Theorem 6.1's psi denotes)."""
+        return frozenset(token for token, _ in self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def get_dtrss(
+    target: Ring,
+    rings: Sequence[Ring],
+    universe: TokenUniverse,
+    max_size: int | None = None,
+) -> list[Dtrs]:
+    """Enumerate all (minimal) DTRSs of ``target`` — Algorithm 3.
+
+    Args:
+        target: the ring r_k whose DTRSs are wanted.
+        rings: the full ring set (must include ``target``); the paper's
+            ``R_pi^rs ∪ {rs}``.
+        universe: token -> HT mapping.
+        max_size: optionally cap the candidate pair-set size (the
+            paper's loop runs sizes 1..n; small caps make the BFS bench
+            tractable while preserving minimality of what is returned).
+
+    Returns:
+        Minimal DTRSs.  Empty list means no leak of other rings' pairs
+        can ever pin down the target's HT (the best possible privacy).
+    """
+    from .combinations import enumerate_combinations
+
+    if all(ring.rid != target.rid for ring in rings):
+        raise ValueError("target ring must be a member of the ring set")
+
+    worlds = list(enumerate_combinations(rings))
+    if not worlds:
+        return []
+
+    others = [ring for ring in rings if ring.rid != target.rid]
+    cap = max_size if max_size is not None else len(others)
+
+    found: list[Dtrs] = []
+
+    def dominated(candidate: frozenset[tuple[str, str]]) -> bool:
+        return any(existing.pairs <= candidate for existing in found)
+
+    # Candidates are drawn from actual worlds (a pair set never realized
+    # together cannot be revealed together), sizes ascending so that the
+    # first hit at each "shape" is minimal and dominates its supersets.
+    for size in range(0, cap + 1):
+        seen: set[frozenset[tuple[str, str]]] = set()
+        for world in worlds:
+            other_pairs = [
+                (world[ring.rid], ring.rid) for ring in others
+            ]
+            for chosen in subset_combinations(other_pairs, size):
+                candidate = frozenset(chosen)
+                if candidate in seen or dominated(candidate):
+                    continue
+                seen.add(candidate)
+                determined = _determined_ht(candidate, target, worlds, universe)
+                if determined is not None:
+                    found.append(Dtrs(pairs=candidate, determined_ht=determined))
+    return found
+
+
+def _determined_ht(
+    candidate: frozenset[tuple[str, str]],
+    target: Ring,
+    worlds: Iterable[dict[str, str]],
+    universe: TokenUniverse,
+) -> str | None:
+    """HT determined by ``candidate``, or None if not determining.
+
+    A candidate determines an HT iff every world containing all its
+    pairs gives the target's consumed token the same HT (and at least
+    one such world exists).
+    """
+    determined: str | None = None
+    matched = False
+    for world in worlds:
+        if any(world.get(rid) != token for token, rid in candidate):
+            continue
+        matched = True
+        ht = universe.ht_of(world[target.rid])
+        if determined is None:
+            determined = ht
+        elif determined != ht:
+            return None
+    return determined if matched else None
+
+
+def ring_is_recursive_diverse_exact(
+    target: Ring,
+    rings: Sequence[Ring],
+    universe: TokenUniverse,
+    c: float | None = None,
+    ell: int | None = None,
+) -> bool:
+    """Definition 4 verified exactly (exponential).
+
+    Condition (1): the HT multiset of ``target``'s tokens satisfies
+    recursive (c, l)-diversity.  Condition (2): the HT multiset of the
+    tokens of *every* DTRS of ``target`` satisfies it too.
+
+    ``c``/``ell`` default to the ring's own claimed requirement.
+    """
+    from .diversity import ht_counts_satisfy
+
+    c = target.c if c is None else c
+    ell = target.ell if ell is None else ell
+    if not ht_counts_satisfy(universe.ht_counts(target.tokens), c, ell):
+        return False
+    for dtrs in get_dtrss(target, rings, universe):
+        if not ht_counts_satisfy(universe.ht_counts(dtrs.tokens), c, ell):
+            return False
+    return True

@@ -1,0 +1,239 @@
+"""Practical configurations — super RSs, fresh tokens and modules (Sec 6.1).
+
+The first practical configuration requires every new ring to be a
+superset of some existing rings and disjoint from all the others.  The
+building blocks a selector may combine are then:
+
+* **super RSs** (Definition 7): rings with no later-proposed strict
+  superset inside the related ring set, and
+* **fresh tokens** (Definition 8): tokens not yet in any ring.
+
+Both are wrapped in a uniform :class:`Module` (the "modules"/"players"
+of Algorithms 4 and 5).  Under this configuration, Theorem 6.1 turns
+DTRS enumeration into a polynomial check: the only DTRS token sets of a
+ring r_i are psi_{i,j} = r_i \\ T~_{i,j} for HTs h_j frequent enough
+that v_{i*} >= |r_i| - |T~_{i,j}| + 1.
+
+The second practical configuration (Theorem 6.4) says: target
+(c, l+1)-diversity for the new ring, and every DTRS of it is guaranteed
+to satisfy (c, l).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .diversity import ht_counts_satisfy
+from .ring import Ring, TokenUniverse
+
+__all__ = [
+    "Module",
+    "ModuleUniverse",
+    "find_super_rings",
+    "find_fresh_tokens",
+    "subset_count",
+    "decompose",
+    "is_superset_or_disjoint",
+    "theorem61_dtrs_token_sets",
+    "ring_is_recursive_diverse_config",
+    "second_config_ell",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Module:
+    """A selectable unit: one super RS or one fresh token.
+
+    Attributes:
+        mid: module id ("s:<rid>" or "f:<token>").
+        tokens: tokens the module contributes to a new ring.
+        is_super: True for super RSs, False for fresh tokens.
+        source_rid: the super RS's ring id (None for fresh tokens).
+    """
+
+    mid: str
+    tokens: frozenset[str]
+    is_super: bool
+    source_rid: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def ht_counts(self, universe: TokenUniverse) -> Counter[str]:
+        return universe.ht_counts(self.tokens)
+
+
+def find_super_rings(rings: Sequence[Ring]) -> list[Ring]:
+    """Super RSs of Definition 7.
+
+    A ring r_i is a super RS iff no ring proposed after it (higher seq)
+    is a strict superset of it.
+    """
+    supers: list[Ring] = []
+    for ring in rings:
+        is_super = True
+        for other in rings:
+            if other.seq > ring.seq and other.tokens > ring.tokens:
+                is_super = False
+                break
+        if is_super:
+            supers.append(ring)
+    return supers
+
+
+def subset_count(ring: Ring, rings: Sequence[Ring]) -> int:
+    """v_i: how many rings of the set are subsets of ``ring`` (itself included)."""
+    return sum(1 for other in rings if other.tokens <= ring.tokens)
+
+
+def find_fresh_tokens(universe_tokens: Iterable[str], rings: Sequence[Ring]) -> list[str]:
+    """Fresh tokens of Definition 8: in T but in no ring."""
+    covered: set[str] = set()
+    for ring in rings:
+        covered |= ring.tokens
+    return sorted(set(universe_tokens) - covered)
+
+
+class ModuleUniverse:
+    """The decomposition of a mixin universe into selectable modules.
+
+    Built from the related ring set over a batch universe; provides the
+    module containing a given token (x_tau / a_tau of Algorithms 4/5)
+    and the subset counts v_i needed by Theorem 6.1.
+    """
+
+    def __init__(
+        self,
+        universe: TokenUniverse,
+        rings: Sequence[Ring],
+    ) -> None:
+        self.universe = universe
+        self.rings = list(rings)
+        self.super_rings = find_super_rings(self.rings)
+        self.fresh_tokens = find_fresh_tokens(universe.tokens, self.rings)
+        self.modules: list[Module] = [
+            Module(
+                mid=f"s:{ring.rid}",
+                tokens=ring.tokens,
+                is_super=True,
+                source_rid=ring.rid,
+            )
+            for ring in self.super_rings
+        ] + [
+            Module(mid=f"f:{token}", tokens=frozenset({token}), is_super=False)
+            for token in self.fresh_tokens
+        ]
+        self._module_of_token: dict[str, Module] = {}
+        for module in self.modules:
+            for token in module.tokens:
+                # Under configuration 1 super RSs are pairwise disjoint or
+                # nested; prefer the largest (outermost) module per token.
+                current = self._module_of_token.get(token)
+                if current is None or len(module.tokens) > len(current.tokens):
+                    self._module_of_token[token] = module
+        self._subset_counts = {
+            ring.rid: subset_count(ring, self.rings) for ring in self.rings
+        }
+
+    def module_of(self, token: str) -> Module:
+        """The module containing ``token`` (Algorithm 4 line 1)."""
+        try:
+            return self._module_of_token[token]
+        except KeyError:
+            raise KeyError(f"token {token!r} is in no module of this universe") from None
+
+    def others(self, module: Module) -> list[Module]:
+        """All modules except ``module``, in deterministic order."""
+        return [m for m in self.modules if m.mid != module.mid]
+
+    def subset_count_of(self, rid: str) -> int:
+        return self._subset_counts[rid]
+
+    def super_of(self, ring: Ring) -> Ring:
+        """The super RS covering ``ring``.
+
+        For rings already in the universe this is the largest known
+        super RS containing them.  A *candidate* ring (about to be
+        proposed, so strictly newer than everything here) is its own
+        covering super RS under configuration 1.
+        """
+        best: Ring | None = None
+        for candidate in self.super_rings:
+            if ring.tokens <= candidate.tokens:
+                if best is None or len(candidate.tokens) > len(best.tokens):
+                    best = candidate
+        if best is None:
+            return ring
+        return best
+
+    def subset_count_for(self, covering: Ring) -> int:
+        """v_{i*} for a covering super RS, known or candidate."""
+        if covering.rid in self._subset_counts:
+            return self._subset_counts[covering.rid]
+        return subset_count(covering, self.rings + [covering])
+
+
+def is_superset_or_disjoint(tokens: frozenset[str], rings: Sequence[Ring]) -> bool:
+    """First practical configuration check for a new ring's token set."""
+    for ring in rings:
+        if not (ring.tokens <= tokens or ring.tokens.isdisjoint(tokens)):
+            return False
+    return True
+
+
+def theorem61_dtrs_token_sets(
+    ring: Ring,
+    modules: ModuleUniverse,
+) -> list[tuple[str, frozenset[str]]]:
+    """DTRS token sets of ``ring`` under configuration 1 (Theorem 6.1).
+
+    Returns (h_j, psi_{i,j}) pairs: for each HT h_j of ``ring``'s
+    tokens, if the covering super RS's subset count v_{i*} satisfies
+    v_{i*} >= |r_i| - |T~_{i,j}| + 1, then psi_{i,j} = r_i \\ T~_{i,j}
+    is the token set of a DTRS determining h_j.  HTs below the
+    threshold contribute nothing (no DTRS can determine them).
+    """
+    universe = modules.universe
+    covering = modules.super_of(ring)
+    v_star = modules.subset_count_for(covering)
+    results: list[tuple[str, frozenset[str]]] = []
+    counts = universe.ht_counts(ring.tokens)
+    for ht, multiplicity in counts.items():
+        threshold = len(ring.tokens) - multiplicity + 1
+        if v_star >= threshold:
+            tokens_of_ht = frozenset(
+                token for token in ring.tokens if universe.ht_of(token) == ht
+            )
+            psi = ring.tokens - tokens_of_ht
+            if psi:
+                results.append((ht, psi))
+    return results
+
+
+def ring_is_recursive_diverse_config(
+    ring: Ring,
+    modules: ModuleUniverse,
+    c: float | None = None,
+    ell: int | None = None,
+) -> bool:
+    """Definition 4 verified polynomially via Theorem 6.1.
+
+    Checks the ring's own HT multiset and each psi_{i,j} token set's HT
+    multiset against recursive (c, l)-diversity.
+    """
+    universe = modules.universe
+    c = ring.c if c is None else c
+    ell = ring.ell if ell is None else ell
+    if not ht_counts_satisfy(universe.ht_counts(ring.tokens), c, ell):
+        return False
+    for _, psi in theorem61_dtrs_token_sets(ring, modules):
+        if not ht_counts_satisfy(universe.ht_counts(psi), c, ell):
+            return False
+    return True
+
+
+def second_config_ell(ell: int) -> int:
+    """Second practical configuration: target (c, l+1) so DTRSs keep (c, l)."""
+    return ell + 1

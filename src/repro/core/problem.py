@@ -1,0 +1,159 @@
+"""The Diversity-Aware Mixins Selection (DA-MS) problem — Definition 5.
+
+Given a mixin universe T, a token t_tau to consume and a requirement
+(c_tau, l_tau), pick a minimum-cardinality mixin set M so that the ring
+r_tau = M ∪ {t_tau} satisfies:
+
+* **diversity**: r_tau is a recursive (c_tau, l_tau)-diversity RS
+  (Definition 4 — both the ring's own HT multiset and every DTRS's);
+* **non-eliminated**: after proposing r_tau, no token of any ring in
+  the closure can be ruled out by chain-reaction analysis;
+* **immutability**: every previously proposed ring in the related set
+  keeps its own claimed recursive (c_i, l_i)-diversity.
+
+This module defines the problem instance object and exact (exponential)
+constraint checkers used by the BFS solver and by tests; the practical
+configurations in :mod:`repro.core.modules` provide the polynomial
+counterparts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .combinations import possible_consumed_tokens
+from .diversity import ht_counts_satisfy
+from .dtrs import get_dtrss
+from .ring import Ring, TokenUniverse, related_ring_set
+
+__all__ = [
+    "DamsInstance",
+    "InfeasibleError",
+    "check_diversity_constraint",
+    "check_non_eliminated_constraint",
+    "check_immutability_constraint",
+    "is_feasible_exact",
+]
+
+
+class InfeasibleError(RuntimeError):
+    """Raised when no mixin set can satisfy the DA-MS constraints."""
+
+
+@dataclass(slots=True)
+class DamsInstance:
+    """One DA-MS problem instance.
+
+    Attributes:
+        universe: the mixin universe T with token -> HT labels.
+        rings: previously proposed rings over T (ordered by seq).
+        target_token: the token t_tau to consume.
+        c: required diversity parameter c_tau.
+        ell: required diversity parameter l_tau.
+    """
+
+    universe: TokenUniverse
+    rings: list[Ring]
+    target_token: str
+    c: float
+    ell: int
+    _next_seq: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.target_token not in self.universe:
+            raise ValueError(f"target token {self.target_token!r} not in universe")
+        if self.c <= 0 or self.ell < 1:
+            raise ValueError("invalid diversity requirement")
+        self._next_seq = 1 + max((ring.seq for ring in self.rings), default=-1)
+
+    def candidate_mixins(self) -> frozenset[str]:
+        """sigma = T \\ {t_tau} (Algorithm 2, line 1)."""
+        return self.universe.tokens - {self.target_token}
+
+    def make_ring(self, mixins: Iterable[str], rid: str = "r_tau") -> Ring:
+        """Assemble the candidate ring t_tau ∪ mixins."""
+        tokens = frozenset(mixins) | {self.target_token}
+        return Ring(rid=rid, tokens=tokens, c=self.c, ell=self.ell, seq=self._next_seq)
+
+    def related_rings(self, candidate: Ring) -> list[Ring]:
+        """R_pi^{r_tau}: the related RS set of the candidate (Definition 1)."""
+        return related_ring_set(candidate, self.rings)
+
+
+def check_diversity_constraint(
+    candidate: Ring,
+    closure: Sequence[Ring],
+    universe: TokenUniverse,
+) -> bool:
+    """Exact Definition 4 check for the new ring (both conditions)."""
+    if not ht_counts_satisfy(universe.ht_counts(candidate.tokens), candidate.c, candidate.ell):
+        return False
+    for dtrs in get_dtrss(candidate, closure, universe):
+        if not ht_counts_satisfy(universe.ht_counts(dtrs.tokens), candidate.c, candidate.ell):
+            return False
+    return True
+
+
+def check_non_eliminated_constraint(
+    closure: Sequence[Ring],
+) -> bool:
+    """No token of any ring in the closure may be eliminated.
+
+    Polynomial: for every ring r and token t in r there must exist a
+    token-RS combination assigning t to r (matching feasibility).
+    """
+    for ring in closure:
+        if possible_consumed_tokens(ring, closure) != ring.tokens:
+            return False
+    return True
+
+
+def check_immutability_constraint(
+    candidate: Ring,
+    closure: Sequence[Ring],
+    universe: TokenUniverse,
+) -> bool:
+    """Every existing related ring *maintains* its claimed (c_i, l_i)-diversity.
+
+    Exact (exponential): a ring that satisfied Definition 4 before the
+    candidate was proposed must still satisfy it afterwards.  Rings that
+    already violated their own claim beforehand cannot be broken by the
+    newcomer, so they do not constrain it ("maintain" in Definition 5).
+    """
+    before = [ring for ring in closure if ring.rid != candidate.rid]
+    for ring in before:
+        held_before = _ring_diverse_in(ring, before, universe)
+        if not held_before:
+            continue
+        if not _ring_diverse_in(ring, closure, universe):
+            return False
+    return True
+
+
+def _ring_diverse_in(
+    ring: Ring, closure: Sequence[Ring], universe: TokenUniverse
+) -> bool:
+    """Definition 4 for ``ring`` under its own claim, within ``closure``."""
+    if not ht_counts_satisfy(universe.ht_counts(ring.tokens), ring.c, ring.ell):
+        return False
+    for dtrs in get_dtrss(ring, closure, universe):
+        if not ht_counts_satisfy(universe.ht_counts(dtrs.tokens), ring.c, ring.ell):
+            return False
+    return True
+
+
+def is_feasible_exact(instance: DamsInstance, mixins: Iterable[str]) -> bool:
+    """Do ``mixins`` give a ring satisfying all three DA-MS constraints?
+
+    This is the decision version DDA-MS of Theorem 3.1 — exponential in
+    general, intended for small instances and cross-checking tests.
+    """
+    candidate = instance.make_ring(mixins)
+    related = instance.related_rings(candidate)
+    closure = related + [candidate]
+    return (
+        check_diversity_constraint(candidate, closure, instance.universe)
+        and check_non_eliminated_constraint(closure)
+        and check_immutability_constraint(candidate, closure, instance.universe)
+    )

@@ -1,0 +1,158 @@
+"""The Progressive Algorithm — Algorithm 4 (Section 6.2).
+
+Greedy, two phases, operating on modules (super RSs + fresh tokens)
+under the practical configurations:
+
+* **Phase 1 — HT coverage.**  While the ring's tokens span fewer than
+  l distinct HTs, add the module with minimal
+
+      alpha_i = |x_i| / min(l - |H|, |H_i \\ H|)
+
+  i.e. the cheapest per-token buyer of still-missing HTs.
+
+* **Phase 2 — diversity repair.**  While the HT multiset violates
+  recursive (c, l)-diversity, add the module with maximal
+
+      beta_i = (delta - delta_i) / |x_i|
+
+  where delta = q_1 - c * (q_l + ... + q_theta) is the current
+  violation and delta_i the violation after adding x_i: the biggest
+  violation reduction per token.
+
+Approximation ratio (Theorem 6.5): H_l + q_M * z_M / 10^-gamma.
+
+Ties are broken by (score, module size, module id) so runs are fully
+deterministic; the randomness the threat model relies on comes from
+TokenMagic's candidate-set sampling (Algorithm 1), not from here.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from .diversity import ht_counts_deficit
+from .modules import Module, ModuleUniverse
+from .problem import InfeasibleError
+from .selector import SelectionResult, register_selector
+
+__all__ = ["progressive_select", "coverage_phase"]
+
+
+def coverage_phase(
+    modules: ModuleUniverse,
+    selected: list[Module],
+    available: list[Module],
+    ell: int,
+) -> None:
+    """Shared phase 1: extend ``selected`` until >= ell distinct HTs.
+
+    Mutates ``selected`` and ``available`` in place.  Used verbatim by
+    both Algorithm 4 (alpha scores) and Algorithm 5 (gamma scores) —
+    the two formulas are identical.
+
+    Raises:
+        InfeasibleError: if no module can contribute a new HT while
+            coverage is still short.
+    """
+    universe = modules.universe
+    covered: set[str] = set()
+    for module in selected:
+        covered |= set(universe.ht_counts(module.tokens))
+
+    while len(covered) < ell:
+        best: tuple[float, int, str] | None = None
+        best_module: Module | None = None
+        for module in available:
+            new_hts = set(universe.ht_counts(module.tokens)) - covered
+            if not new_hts:
+                continue
+            denominator = min(ell - len(covered), len(new_hts))
+            alpha = len(module.tokens) / denominator
+            key = (alpha, len(module.tokens), module.mid)
+            if best is None or key < best:
+                best = key
+                best_module = module
+        if best_module is None:
+            raise InfeasibleError(
+                f"cannot cover {ell} distinct HTs: only {len(covered)} reachable"
+            )
+        selected.append(best_module)
+        available.remove(best_module)
+        covered |= set(universe.ht_counts(best_module.tokens))
+
+
+def _tokens_of(selected: list[Module]) -> frozenset[str]:
+    tokens: set[str] = set()
+    for module in selected:
+        tokens |= module.tokens
+    return frozenset(tokens)
+
+
+@register_selector("progressive")
+def progressive_select(
+    modules: ModuleUniverse,
+    target_token: str,
+    c: float,
+    ell: int,
+    rng: random.Random | None = None,
+) -> SelectionResult:
+    """Run Algorithm 4 for ``target_token`` under (c, ell)-diversity.
+
+    Args:
+        modules: module decomposition of the batch universe.
+        target_token: the token t_tau to consume.
+        c: diversity parameter c_tau.
+        ell: diversity parameter l_tau (pass the second practical
+            configuration's l+1 if DTRS protection is wanted — see
+            :func:`repro.core.modules.second_config_ell`).
+        rng: unused (the algorithm is deterministic); accepted for
+            signature uniformity.
+
+    Raises:
+        InfeasibleError: when the universe cannot satisfy the requirement.
+    """
+    del rng
+    start = time.perf_counter()
+    universe = modules.universe
+    anchor = modules.module_of(target_token)
+    selected: list[Module] = [anchor]
+    available: list[Module] = modules.others(anchor)
+
+    # Phase 1 (lines 2-4): reach l distinct HTs.
+    coverage_phase(modules, selected, available, ell)
+
+    # Phase 2 (lines 5-7): repair recursive (c, l)-diversity.
+    current_tokens = set(_tokens_of(selected))
+    delta = ht_counts_deficit(universe.ht_counts(current_tokens), c, ell)
+    while delta >= 0:
+        best: tuple[float, int, str] | None = None
+        best_module: Module | None = None
+        best_delta = delta
+        for module in available:
+            trial_counts = universe.ht_counts(current_tokens | module.tokens)
+            delta_i = ht_counts_deficit(trial_counts, c, ell)
+            beta = (delta - delta_i) / len(module.tokens)
+            # Max beta wins; ties prefer smaller modules then stable ids.
+            key = (-beta, len(module.tokens), module.mid)
+            if best is None or key < best:
+                best = key
+                best_module = module
+                best_delta = delta_i
+        if best_module is None or best_delta >= delta:
+            raise InfeasibleError(
+                f"diversity deficit stuck at {delta:.3f} for token {target_token!r} "
+                f"under ({c}, {ell})-diversity"
+            )
+        selected.append(best_module)
+        available.remove(best_module)
+        current_tokens |= best_module.tokens
+        delta = best_delta
+
+    return SelectionResult(
+        tokens=frozenset(current_tokens),
+        target_token=target_token,
+        modules=tuple(module.mid for module in selected),
+        elapsed=time.perf_counter() - start,
+        algorithm="progressive",
+    )

@@ -1,0 +1,111 @@
+"""Requirement relaxation (Section 4).
+
+"If users think the returned RS is not desirable (e.g., the size is too
+large) or the framework cannot return an eligible RS, they can relax
+the diversity requirement by increasing c or decreasing l."
+
+This module turns that remark into a deterministic policy: a relaxation
+*schedule* enumerates progressively weaker (c, l) requirements, and
+:func:`select_with_relaxation` walks the schedule until a selector
+succeeds (optionally also until the ring is small enough).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from .modules import ModuleUniverse
+from .problem import InfeasibleError
+from .selector import SelectionResult, Selector, get_selector
+
+__all__ = ["RelaxationStep", "relaxation_schedule", "select_with_relaxation"]
+
+
+@dataclass(frozen=True, slots=True)
+class RelaxationStep:
+    """One rung of the relaxation ladder."""
+
+    c: float
+    ell: int
+    level: int
+
+    @property
+    def is_original(self) -> bool:
+        return self.level == 0
+
+
+def relaxation_schedule(
+    c: float,
+    ell: int,
+    c_factor: float = 1.5,
+    ell_step: int = 1,
+    max_level: int = 8,
+) -> Iterator[RelaxationStep]:
+    """Yield progressively weaker requirements.
+
+    Level 0 is the original requirement; each later level alternates
+    increasing c (multiplied by ``c_factor``) and decreasing l (by
+    ``ell_step``, floored at 1) — both moves the paper sanctions.
+    """
+    if c <= 0 or ell < 1:
+        raise ValueError("invalid starting requirement")
+    if c_factor <= 1 or ell_step < 1:
+        raise ValueError("relaxation must actually relax")
+    current_c, current_ell = c, ell
+    yield RelaxationStep(c=current_c, ell=current_ell, level=0)
+    for level in range(1, max_level + 1):
+        if level % 2 == 1:
+            current_c *= c_factor
+        else:
+            current_ell = max(1, current_ell - ell_step)
+        yield RelaxationStep(c=current_c, ell=current_ell, level=level)
+
+
+def select_with_relaxation(
+    modules: ModuleUniverse,
+    target_token: str,
+    c: float,
+    ell: int,
+    algorithm: str | Selector = "progressive",
+    max_size: int | None = None,
+    rng: random.Random | None = None,
+    **schedule_options,
+) -> tuple[SelectionResult, RelaxationStep]:
+    """Select mixins, relaxing the requirement until something works.
+
+    Args:
+        max_size: optionally also treat rings larger than this as
+            "not desirable" and keep relaxing (the paper's other
+            trigger for relaxation).
+        **schedule_options: forwarded to :func:`relaxation_schedule`.
+
+    Returns:
+        The selection and the step that produced it (``step.level`` is
+        0 when no relaxation was needed).
+
+    Raises:
+        InfeasibleError: if even the weakest scheduled requirement
+            fails.
+    """
+    selector = get_selector(algorithm) if isinstance(algorithm, str) else algorithm
+    last_error: InfeasibleError | None = None
+    oversized: tuple[SelectionResult, RelaxationStep] | None = None
+    for step in relaxation_schedule(c, ell, **schedule_options):
+        try:
+            result = selector(modules, target_token, step.c, step.ell, rng=rng)
+        except InfeasibleError as error:
+            last_error = error
+            continue
+        if max_size is None or result.size <= max_size:
+            return result, step
+        if oversized is None or result.size < oversized[0].size:
+            oversized = (result, step)
+    if oversized is not None:
+        # Nothing met the size wish; return the best oversized ring.
+        return oversized
+    raise InfeasibleError(
+        f"no requirement on the relaxation schedule of ({c}, {ell}) is "
+        f"satisfiable for token {target_token!r}"
+    ) from last_error

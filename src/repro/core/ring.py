@@ -1,0 +1,179 @@
+"""The abstract ring-signature and token-universe data model.
+
+Section 2.1 of the paper: "we simply consider a RS as a set of tokens
+consisting of a consuming token and its mixins."  This module defines
+that abstraction — :class:`Ring` — plus :class:`TokenUniverse`, the
+(token -> historical transaction) map every diversity computation needs,
+and the related-RS-set computation of Definition 1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["Ring", "TokenUniverse", "related_ring_set", "RingSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Ring:
+    """A ring signature viewed as a set of tokens (Section 2.1).
+
+    Attributes:
+        rid: unique ring identifier (assignment order on chain).
+        tokens: the token ids in the ring (consumed token + mixins).
+        c: the ``c`` of the claimed recursive (c, l)-diversity requirement.
+        ell: the ``l`` of the claimed requirement.
+        seq: proposal order; lower = proposed earlier (the paper's
+            timestamp pi).  Used by the super-RS rule of Definition 7.
+    """
+
+    rid: str
+    tokens: frozenset[str]
+    c: float = 1.0
+    ell: int = 1
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            raise ValueError(f"ring {self.rid!r} is empty")
+        if self.c <= 0:
+            raise ValueError("diversity parameter c must be positive")
+        if self.ell < 1:
+            raise ValueError("diversity parameter l must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.tokens
+
+    def intersects(self, other: "Ring") -> bool:
+        return not self.tokens.isdisjoint(other.tokens)
+
+
+class TokenUniverse:
+    """Maps every token to the historical transaction (HT) that output it.
+
+    This is the mixin universe ``T`` of the paper: the algorithms only
+    ever need each token's HT label to evaluate recursive diversity.
+    """
+
+    def __init__(self, token_to_ht: Mapping[str, str] | None = None) -> None:
+        self._token_to_ht: dict[str, str] = dict(token_to_ht or {})
+        self._ht_to_tokens: dict[str, set[str]] = defaultdict(set)
+        for token, ht in self._token_to_ht.items():
+            self._ht_to_tokens[ht].add(token)
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, token: str, ht: str) -> None:
+        """Register a token output by historical transaction ``ht``."""
+        existing = self._token_to_ht.get(token)
+        if existing is not None and existing != ht:
+            raise ValueError(f"token {token!r} already registered under HT {existing!r}")
+        self._token_to_ht[token] = ht
+        self._ht_to_tokens[ht].add(token)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._token_to_ht)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_ht
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._token_to_ht)
+
+    @property
+    def tokens(self) -> frozenset[str]:
+        return frozenset(self._token_to_ht)
+
+    @property
+    def hts(self) -> frozenset[str]:
+        return frozenset(self._ht_to_tokens)
+
+    def ht_of(self, token: str) -> str:
+        """The historical transaction that output ``token``."""
+        try:
+            return self._token_to_ht[token]
+        except KeyError:
+            raise KeyError(f"unknown token {token!r}") from None
+
+    def tokens_of_ht(self, ht: str) -> frozenset[str]:
+        return frozenset(self._ht_to_tokens.get(ht, ()))
+
+    def ht_counts(self, tokens: Iterable[str]) -> Counter[str]:
+        """Multiset of HT labels for ``tokens`` (the paper's sensitive values)."""
+        return Counter(self._token_to_ht[token] for token in tokens)
+
+    def restricted_to(self, tokens: Iterable[str]) -> "TokenUniverse":
+        """A sub-universe containing only ``tokens`` (a TokenMagic batch)."""
+        subset = set(tokens)
+        return TokenUniverse({t: ht for t, ht in self._token_to_ht.items() if t in subset})
+
+
+@dataclass(slots=True)
+class RingSet:
+    """An ordered collection of rings over one universe, indexed by token.
+
+    Keeps the token -> rings inverted index that Definition 1 (related RS
+    sets) and the TokenMagic neighbor sets both need.
+    """
+
+    rings: list[Ring] = field(default_factory=list)
+    _by_token: dict[str, list[Ring]] = field(default_factory=lambda: defaultdict(list))
+
+    def __post_init__(self) -> None:
+        rings = list(self.rings)
+        self.rings = []
+        self._by_token = defaultdict(list)
+        for ring in rings:
+            self.add(ring)
+
+    def add(self, ring: Ring) -> None:
+        self.rings.append(ring)
+        for token in ring.tokens:
+            self._by_token[token].append(ring)
+
+    def __len__(self) -> int:
+        return len(self.rings)
+
+    def __iter__(self) -> Iterator[Ring]:
+        return iter(self.rings)
+
+    def rings_containing(self, token: str) -> list[Ring]:
+        return list(self._by_token.get(token, ()))
+
+    def tokens_in_rings(self) -> frozenset[str]:
+        return frozenset(self._by_token)
+
+
+def related_ring_set(target: Ring | frozenset[str], rings: Iterable[Ring]) -> list[Ring]:
+    """The related RS set of Definition 1.
+
+    Starting from the rings sharing a token with ``target``, repeatedly
+    add rings sharing a token with anything already included, until a
+    fixpoint.  Rings are returned in their original order.
+
+    Args:
+        target: the ring (or bare token set) whose related set is wanted.
+        rings: the previously proposed rings to search.
+    """
+    tokens = target.tokens if isinstance(target, Ring) else frozenset(target)
+    pool = list(rings)
+    frontier_tokens = set(tokens)
+    included: dict[str, Ring] = {}
+    changed = True
+    while changed:
+        changed = False
+        for ring in pool:
+            if ring.rid in included:
+                continue
+            if not frontier_tokens.isdisjoint(ring.tokens):
+                included[ring.rid] = ring
+                frontier_tokens |= ring.tokens
+                changed = True
+    return [ring for ring in pool if ring.rid in included]

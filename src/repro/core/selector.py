@@ -1,0 +1,113 @@
+"""Shared selector interface and result type for all DA-MS algorithms.
+
+Every mixin-selection algorithm — exact BFS, Progressive, Game-theoretic
+and the two baselines — is exposed behind one callable signature so the
+TokenMagic framework and the experiment harness can swap them freely
+(the paper's TM_B / TM_P / TM_G / TM_S / TM_R variants).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from .modules import Module, ModuleUniverse
+from .ring import Ring, TokenUniverse
+
+__all__ = ["SelectionResult", "Selector", "SELECTORS", "register_selector", "get_selector"]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionResult:
+    """Outcome of one mixin selection.
+
+    Attributes:
+        tokens: the full ring token set (target token included).
+        target_token: the consumed token the ring was built for.
+        modules: module ids combined into the ring (empty for BFS,
+            which works token-by-token).
+        elapsed: wall-clock seconds the selection took.
+        algorithm: name of the selector that produced it.
+    """
+
+    tokens: frozenset[str]
+    target_token: str
+    modules: tuple[str, ...] = ()
+    elapsed: float = 0.0
+    algorithm: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def mixins(self) -> frozenset[str]:
+        return self.tokens - {self.target_token}
+
+
+class Selector(Protocol):
+    """A mixin-selection algorithm under the practical configurations."""
+
+    def __call__(
+        self,
+        modules: ModuleUniverse,
+        target_token: str,
+        c: float,
+        ell: int,
+        rng: random.Random | None = None,
+    ) -> SelectionResult:
+        """Build a ring consuming ``target_token`` meeting (c, ell)-diversity."""
+        ...  # pragma: no cover - protocol
+
+
+#: Registry of named selectors, filled by the algorithm modules.
+SELECTORS: dict[str, Selector] = {}
+
+
+def register_selector(name: str) -> Callable[[Selector], Selector]:
+    """Decorator registering a selector under ``name`` (e.g. "progressive")."""
+
+    def wrap(function: Selector) -> Selector:
+        SELECTORS[name] = function
+        return function
+
+    return wrap
+
+
+def get_selector(name: str) -> Selector:
+    """Look up a registered selector by name.
+
+    Raises:
+        KeyError: with the known names listed, if ``name`` is unknown.
+    """
+    try:
+        return SELECTORS[name]
+    except KeyError:
+        known = ", ".join(sorted(SELECTORS))
+        raise KeyError(f"unknown selector {name!r}; known: {known}") from None
+
+
+@dataclass(slots=True)
+class _Accumulator:
+    """Mutable ring-under-construction state shared by the greedy phases."""
+
+    universe: TokenUniverse
+    tokens: set[str] = field(default_factory=set)
+    module_ids: list[str] = field(default_factory=list)
+
+    def add(self, module: Module) -> None:
+        self.tokens |= module.tokens
+        self.module_ids.append(module.mid)
+
+    def remove(self, module: Module) -> None:
+        self.tokens -= module.tokens
+        self.module_ids.remove(module.mid)
+
+
+def timed(fn: Callable[[], frozenset[str]]) -> tuple[frozenset[str], float]:
+    """Run a selection body and measure elapsed wall-clock seconds."""
+    start = time.perf_counter()
+    tokens = fn()
+    return tokens, time.perf_counter() - start

@@ -1,0 +1,54 @@
+"""Cryptographic substrate: Ed25519 group, keys, bLSAG ring signatures.
+
+This package realizes "Step 2" (signature generation) and the
+cryptographic part of "Step 3" (verification) of the ring-signature
+scheme the paper builds on (Section 2.1).  The mixin-selection work of
+the paper ("Step 1") lives in :mod:`repro.core` and
+:mod:`repro.tokenmagic`.
+"""
+
+from .commitment import Commitment, add_commitments, commit, commitments_balance
+from .ed25519 import G, IDENTITY, L, P, Point, compress, decompress, is_on_curve
+from .keys import KeyPair, PrivateKey, PublicKey, generate_keypair, keypair_from_seed
+from .lsag import RingSignatureProof, SigningError, is_linked, sign, verify
+from .mlsag import MlsagProof, mlsag_sign, mlsag_verify
+from .stealth import (
+    OneTimeOutput,
+    StealthAddress,
+    StealthReceiver,
+    make_receiver,
+    pay_to_address,
+)
+
+__all__ = [
+    "G",
+    "IDENTITY",
+    "L",
+    "P",
+    "Point",
+    "compress",
+    "decompress",
+    "is_on_curve",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "generate_keypair",
+    "keypair_from_seed",
+    "RingSignatureProof",
+    "SigningError",
+    "sign",
+    "verify",
+    "is_linked",
+    "Commitment",
+    "commit",
+    "commitments_balance",
+    "add_commitments",
+    "MlsagProof",
+    "mlsag_sign",
+    "mlsag_verify",
+    "StealthAddress",
+    "StealthReceiver",
+    "OneTimeOutput",
+    "make_receiver",
+    "pay_to_address",
+]

@@ -1,0 +1,237 @@
+"""Pure-python Ed25519 group arithmetic.
+
+This module implements the twisted Edwards curve used by Ed25519 (and by
+Monero's linkable ring signatures):
+
+    -x^2 + y^2 = 1 + d * x^2 * y^2   over GF(2^255 - 19)
+
+It provides exactly the group operations the :mod:`repro.crypto.lsag`
+ring-signature scheme needs:
+
+* point addition / doubling / scalar multiplication,
+* point compression / decompression (RFC 8032 encoding),
+* the prime group order ``L`` and the base point ``G``.
+
+Internally all arithmetic runs in extended homogeneous coordinates
+(X : Y : Z : T) with X*Y = Z*T, so point addition is inversion-free; a
+single field inversion normalizes the result back to the affine
+:class:`Point` the public API exposes.  The implementation favours
+clarity over constant-time discipline: it is a faithful substrate for
+the paper's "Step 2 / Step 3" of a ring-signature scheme (signing and
+verification), not a production cryptography library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "P",
+    "L",
+    "D",
+    "Point",
+    "G",
+    "IDENTITY",
+    "point_add",
+    "point_double",
+    "scalar_mult",
+    "multi_scalar_mult",
+    "compress",
+    "decompress",
+    "is_on_curve",
+    "DecodingError",
+]
+
+# Field prime: 2^255 - 19.
+P = 2**255 - 19
+
+# Prime order of the base-point subgroup.
+L = 2**252 + 27742317777372353535851937790883648493
+
+# Twisted Edwards curve constant d = -121665/121666 mod P.
+D = (-121665 * pow(121666, P - 2, P)) % P
+
+_2D = 2 * D % P
+
+# sqrt(-1) mod P, used during decompression.
+_SQRT_M1 = pow(2, (P - 1) // 4, P)
+
+
+class DecodingError(ValueError):
+    """Raised when a 32-byte string does not encode a curve point."""
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An affine point on the Ed25519 curve.
+
+    Points are immutable and hashable so they can be used as dict keys
+    (e.g. key images indexing a spent-token set).
+    """
+
+    x: int
+    y: int
+
+    def __add__(self, other: "Point") -> "Point":
+        return point_add(self, other)
+
+    def __mul__(self, scalar: int) -> "Point":
+        return scalar_mult(scalar, self)
+
+    __rmul__ = __mul__
+
+    def encode(self) -> bytes:
+        """Return the 32-byte RFC 8032 compressed encoding."""
+        return compress(self)
+
+
+#: The neutral element of the group.
+IDENTITY = Point(0, 1)
+
+# Extended coordinates (X, Y, Z, T) with x = X/Z, y = Y/Z, T = X*Y/Z.
+_ExtPoint = tuple[int, int, int, int]
+
+_EXT_IDENTITY: _ExtPoint = (0, 1, 1, 0)
+
+
+def _to_extended(point: Point) -> _ExtPoint:
+    x, y = point.x % P, point.y % P
+    return (x, y, 1, x * y % P)
+
+
+def _to_affine(ext: _ExtPoint) -> Point:
+    x, y, z, _ = ext
+    inv_z = pow(z, P - 2, P)
+    return Point(x * inv_z % P, y * inv_z % P)
+
+
+def _ext_add(a: _ExtPoint, b: _ExtPoint) -> _ExtPoint:
+    """Unified extended addition (add-2008-hwcd-3, a = -1 variant)."""
+    x1, y1, z1, t1 = a
+    x2, y2, z2, t2 = b
+    aa = (y1 - x1) * (y2 - x2) % P
+    bb = (y1 + x1) * (y2 + x2) % P
+    cc = t1 * _2D % P * t2 % P
+    dd = 2 * z1 * z2 % P
+    e = bb - aa
+    f = dd - cc
+    g = dd + cc
+    h = bb + aa
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _ext_double(a: _ExtPoint) -> _ExtPoint:
+    return _ext_add(a, a)
+
+
+def _ext_scalar_mult(scalar: int, ext: _ExtPoint) -> _ExtPoint:
+    scalar %= L
+    result = _EXT_IDENTITY
+    addend = ext
+    while scalar:
+        if scalar & 1:
+            result = _ext_add(result, addend)
+        addend = _ext_add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+def _field_inv(value: int) -> int:
+    """Multiplicative inverse in GF(P) (``value`` must be non-zero)."""
+    return pow(value, P - 2, P)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Check the twisted Edwards equation for ``point``."""
+    x, y = point.x % P, point.y % P
+    left = (-x * x + y * y) % P
+    right = (1 + D * x * x % P * y * y) % P
+    return left == right
+
+
+def point_add(a: Point, b: Point) -> Point:
+    """Add two affine points."""
+    return _to_affine(_ext_add(_to_extended(a), _to_extended(b)))
+
+
+def point_double(a: Point) -> Point:
+    return point_add(a, a)
+
+
+def scalar_mult(scalar: int, point: Point) -> Point:
+    """Compute ``scalar * point`` by double-and-add.
+
+    The scalar is reduced mod ``L`` first; multiplying by 0 yields the
+    identity.
+    """
+    return _to_affine(_ext_scalar_mult(scalar, _to_extended(point)))
+
+
+def multi_scalar_mult(terms: list[tuple[int, Point]]) -> Point:
+    """Compute ``sum(scalar_i * point_i)`` with a single final inversion.
+
+    The ring-signature hot loop computes ``r*G + c*P`` pairs; doing the
+    whole combination in extended coordinates keeps it inversion-free.
+    """
+    total = _EXT_IDENTITY
+    for scalar, point in terms:
+        total = _ext_add(total, _ext_scalar_mult(scalar, _to_extended(point)))
+    return _to_affine(total)
+
+
+def compress(point: Point) -> bytes:
+    """RFC 8032 point compression: y with the sign bit of x in bit 255."""
+    encoded = point.y % P | ((point.x % P & 1) << 255)
+    return encoded.to_bytes(32, "little")
+
+
+def decompress(data: bytes) -> Point:
+    """Inverse of :func:`compress`.
+
+    Raises:
+        DecodingError: if ``data`` is not 32 bytes or does not encode a
+            point on the curve.
+    """
+    if len(data) != 32:
+        raise DecodingError(f"expected 32 bytes, got {len(data)}")
+    encoded = int.from_bytes(data, "little")
+    sign = encoded >> 255
+    y = encoded & ((1 << 255) - 1)
+    if y >= P:
+        raise DecodingError("y coordinate out of range")
+    x = _recover_x(y, sign)
+    point = Point(x, y)
+    if not is_on_curve(point):  # pragma: no cover - _recover_x guarantees this
+        raise DecodingError("decoded point not on curve")
+    return point
+
+
+def _recover_x(y: int, sign: int) -> int:
+    """Recover the x coordinate from y and the sign bit."""
+    # x^2 = (y^2 - 1) / (d*y^2 + 1)
+    numerator = (y * y - 1) % P
+    denominator = (D * y * y + 1) % P
+    x_sq = numerator * _field_inv(denominator) % P
+    # Square root via the P = 5 mod 8 trick.
+    x = pow(x_sq, (P + 3) // 8, P)
+    if (x * x - x_sq) % P != 0:
+        x = x * _SQRT_M1 % P
+    if (x * x - x_sq) % P != 0:
+        raise DecodingError("x^2 has no square root: not a curve point")
+    if x == 0 and sign == 1:
+        raise DecodingError("invalid sign bit for x = 0")
+    if x & 1 != sign:
+        x = P - x
+    return x
+
+
+def _base_point() -> Point:
+    """Compute the standard Ed25519 base point (y = 4/5)."""
+    y = 4 * _field_inv(5) % P
+    x = _recover_x(y, 0)
+    # RFC 8032 picks the point whose x is "even"; _recover_x(sign=0) does so.
+    return Point(x, y)
+
+
+#: The standard base point generating the order-L subgroup.
+G = _base_point()

@@ -1,0 +1,157 @@
+"""Back's Linkable Spontaneous Anonymous Group signatures (bLSAG).
+
+This implements "Step 2" (signing) and the cryptographic half of "Step 3"
+(verification) of the ring-signature scheme described in Section 2.1 of
+the paper.  Given a ring of public keys, the signer proves knowledge of
+*one* of the corresponding private keys without revealing which, and
+publishes a *key image* that is identical across any two signatures made
+with the same key — which is what lets the ledger reject double spends
+while preserving anonymity.
+
+Scheme (standard bLSAG):
+
+    ring      P_0 .. P_{n-1},  signer index s with private key x
+    key image I = x * Hp(P_s)
+    pick random a;  c_{s+1} = H(m, a*G, a*Hp(P_s))
+    for i = s+1, ..., s-1 (cyclically):
+        pick random r_i
+        c_{i+1} = H(m, r_i*G + c_i*P_i, r_i*Hp(P_i) + c_i*I)
+    close the ring: r_s = a - c_s * x  (mod L)
+    signature = (c_0, r_0..r_{n-1}, I)
+
+Verification recomputes the chain of challenges from c_0 and accepts iff
+it cycles back to c_0.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from functools import lru_cache
+
+from .ed25519 import G, L, Point, compress, multi_scalar_mult
+from .hashing import hash_to_point, hash_to_scalar
+from .keys import KeyPair, PublicKey
+
+__all__ = ["RingSignatureProof", "sign", "verify", "is_linked", "SigningError"]
+
+
+class SigningError(ValueError):
+    """Raised when a ring signature cannot be produced from the inputs."""
+
+
+@dataclass(frozen=True, slots=True)
+class RingSignatureProof:
+    """The auxiliary data ω of a ring signature.
+
+    Attributes:
+        ring: the ordered public keys (the paper's sorted token sequence).
+        c0: the initial challenge scalar.
+        responses: one response scalar per ring member.
+        key_image: the signer's key image I.
+    """
+
+    ring: tuple[PublicKey, ...]
+    c0: int
+    responses: tuple[int, ...]
+    key_image: Point
+
+    @property
+    def size(self) -> int:
+        return len(self.ring)
+
+
+def _challenge(message: bytes, left: Point, right: Point) -> int:
+    return hash_to_scalar("repro/lsag-challenge", message, compress(left), compress(right))
+
+
+@lru_cache(maxsize=65536)
+def _hp(encoded_public: bytes) -> Point:
+    """Memoized hash-to-point of a public key (pure function, hot path)."""
+    return hash_to_point("repro/key-image", encoded_public)
+
+
+def _random_scalar() -> int:
+    return (secrets.randbits(256) % (L - 1)) + 1
+
+
+def sign(message: bytes, ring: list[PublicKey], signer: KeyPair) -> RingSignatureProof:
+    """Produce a bLSAG signature over ``message`` with ``signer`` hidden in ``ring``.
+
+    Args:
+        message: the transaction message being authorized.
+        ring: the full ordered ring, which must contain the signer's
+            public key exactly once.
+        signer: the key pair of the truly-consumed token.
+
+    Raises:
+        SigningError: if the signer's key is absent from the ring or the
+            ring contains duplicates.
+    """
+    encoded = [pk.encode() for pk in ring]
+    if len(set(encoded)) != len(encoded):
+        raise SigningError("ring contains duplicate public keys")
+    try:
+        signer_index = encoded.index(signer.public.encode())
+    except ValueError:
+        raise SigningError("signer's public key is not in the ring") from None
+
+    n = len(ring)
+    key_image = signer.key_image()
+    hp = [_hp(enc) for enc in encoded]
+
+    alpha = _random_scalar()
+    challenges: list[int | None] = [None] * n
+    responses: list[int | None] = [None] * n
+
+    challenges[(signer_index + 1) % n] = _challenge(
+        message,
+        multi_scalar_mult([(alpha, G)]),
+        multi_scalar_mult([(alpha, hp[signer_index])]),
+    )
+    index = (signer_index + 1) % n
+    while index != signer_index:
+        response = _random_scalar()
+        responses[index] = response
+        current_challenge = challenges[index]
+        assert current_challenge is not None
+        left = multi_scalar_mult([(response, G), (current_challenge, ring[index].point)])
+        right = multi_scalar_mult([(response, hp[index]), (current_challenge, key_image)])
+        challenges[(index + 1) % n] = _challenge(message, left, right)
+        index = (index + 1) % n
+
+    signer_challenge = challenges[signer_index]
+    assert signer_challenge is not None
+    responses[signer_index] = (alpha - signer_challenge * signer.private.scalar) % L
+
+    c0 = challenges[0]
+    assert c0 is not None
+    assert all(r is not None for r in responses)
+    return RingSignatureProof(
+        ring=tuple(ring),
+        c0=c0,
+        responses=tuple(r for r in responses if r is not None),
+        key_image=key_image,
+    )
+
+
+def verify(message: bytes, proof: RingSignatureProof) -> bool:
+    """Verify a bLSAG signature (the cryptographic part of Step 3)."""
+    n = proof.size
+    if n == 0 or len(proof.responses) != n:
+        return False
+    challenge = proof.c0
+    for index in range(n):
+        public = proof.ring[index]
+        hp = _hp(public.encode())
+        response = proof.responses[index]
+        left = multi_scalar_mult([(response, G), (challenge, public.point)])
+        right = multi_scalar_mult([(response, hp), (challenge, proof.key_image)])
+        challenge = _challenge(message, left, right)
+    return challenge == proof.c0
+
+
+def is_linked(a: RingSignatureProof, b: RingSignatureProof) -> bool:
+    """True iff the two signatures were made with the same private key."""
+    return a.key_image == b.key_image

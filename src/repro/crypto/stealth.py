@@ -1,0 +1,134 @@
+"""Monero-style dual-key stealth addresses.
+
+In the substrate the paper builds on, every transaction output is paid
+to a fresh one-time key derived from the receiver's published address,
+so outputs are unlinkable to addresses on chain.  The scheme:
+
+* a receiver publishes an address (A, B) = (a*G, b*G) — the *view* and
+  *spend* public keys;
+* a sender picks a random tx key r, publishes R = r*G, and pays output
+  index i to the one-time key  P = Hs(r*A || i)*G + B;
+* the receiver scans with the view key:  P' = Hs(a*R || i)*G + B; a
+  match means the output is theirs, and the one-time private key is
+  x = Hs(a*R || i) + b, which is exactly what the bLSAG signer needs.
+
+This makes wallets realistic: token ownership is *discovered by
+scanning*, not assumed.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from .ed25519 import G, L, Point, compress, point_add, scalar_mult
+from .hashing import hash_to_scalar
+from .keys import KeyPair, PrivateKey, PublicKey
+
+__all__ = [
+    "StealthAddress",
+    "StealthReceiver",
+    "OneTimeOutput",
+    "make_receiver",
+    "pay_to_address",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StealthAddress:
+    """A receiver's published (view, spend) public key pair."""
+
+    view: PublicKey
+    spend: PublicKey
+
+    def encode(self) -> bytes:
+        return self.view.encode() + self.spend.encode()
+
+
+@dataclass(frozen=True, slots=True)
+class OneTimeOutput:
+    """What lands on chain: a one-time key plus the shared tx key R."""
+
+    one_time_key: PublicKey
+    tx_public_key: Point
+    output_index: int
+
+
+@dataclass(frozen=True, slots=True)
+class StealthReceiver:
+    """A receiver's secret half: view/spend private scalars."""
+
+    view_private: PrivateKey
+    spend_private: PrivateKey
+
+    @property
+    def address(self) -> StealthAddress:
+        return StealthAddress(
+            view=self.view_private.public_key(),
+            spend=self.spend_private.public_key(),
+        )
+
+    def scan(self, output: OneTimeOutput) -> KeyPair | None:
+        """Check whether ``output`` pays this receiver.
+
+        Returns the one-time key pair controlling the output (ready for
+        ring signing) or None when the output belongs to someone else.
+        """
+        derivation = _derivation_scalar(
+            scalar_mult(self.view_private.scalar, output.tx_public_key),
+            output.output_index,
+        )
+        candidate = point_add(
+            scalar_mult(derivation, G), self.address.spend.point
+        )
+        if candidate != output.one_time_key.point:
+            return None
+        one_time_private = (derivation + self.spend_private.scalar) % L
+        return KeyPair(PrivateKey(one_time_private))
+
+
+def _derivation_scalar(shared_point: Point, output_index: int) -> int:
+    return hash_to_scalar(
+        "repro/stealth-derivation",
+        compress(shared_point),
+        output_index.to_bytes(4, "little"),
+    )
+
+
+def make_receiver(seed: str | None = None) -> StealthReceiver:
+    """Create a receiver; seeded receivers are deterministic (tests)."""
+    if seed is None:
+        view = (secrets.randbits(256) % (L - 1)) + 1
+        spend = (secrets.randbits(256) % (L - 1)) + 1
+    else:
+        view = hash_to_scalar("repro/stealth-view", seed.encode())
+        spend = hash_to_scalar("repro/stealth-spend", seed.encode())
+    return StealthReceiver(
+        view_private=PrivateKey(view), spend_private=PrivateKey(spend)
+    )
+
+
+def pay_to_address(
+    address: StealthAddress,
+    output_index: int,
+    tx_private_key: int | None = None,
+) -> tuple[OneTimeOutput, int]:
+    """Derive a one-time output paying ``address``.
+
+    Returns the output and the transaction private key r (one r is
+    shared by all outputs of a transaction; pass it back in for the
+    second and later outputs).
+    """
+    if tx_private_key is None:
+        tx_private_key = (secrets.randbits(256) % (L - 1)) + 1
+    tx_public = scalar_mult(tx_private_key, G)
+    derivation = _derivation_scalar(
+        scalar_mult(tx_private_key, address.view.point), output_index
+    )
+    one_time = point_add(scalar_mult(derivation, G), address.spend.point)
+    output = OneTimeOutput(
+        one_time_key=PublicKey(one_time),
+        tx_public_key=tx_public,
+        output_index=output_index,
+    )
+    return output, tx_private_key

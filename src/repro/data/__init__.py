@@ -1,0 +1,53 @@
+"""Data sets: the Monero-shaped real-data stand-in and synthetic sweeps.
+
+See Tables 2 and 3 of the paper for the parameter grids these
+generators realize, and DESIGN.md §4 for the real-trace substitution
+rationale.
+"""
+
+from .monero import (
+    BLOCK_COUNT,
+    FRESH_TOKEN_COUNT,
+    OUTPUT_COUNT_DISTRIBUTION,
+    SUPER_RS_COUNT,
+    SUPER_RS_SIZE,
+    TOKEN_COUNT,
+    TX_COUNT,
+    MoneroHour,
+    generate_monero_hour,
+)
+from .synthetic import (
+    TABLE3_DEFAULTS,
+    SyntheticConfig,
+    SyntheticDataset,
+    generate_synthetic,
+)
+from .persistence import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    save_dataset,
+)
+from .workload import ProblemInstance, sample_instances
+
+__all__ = [
+    "MoneroHour",
+    "generate_monero_hour",
+    "OUTPUT_COUNT_DISTRIBUTION",
+    "TX_COUNT",
+    "TOKEN_COUNT",
+    "SUPER_RS_COUNT",
+    "SUPER_RS_SIZE",
+    "FRESH_TOKEN_COUNT",
+    "BLOCK_COUNT",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "generate_synthetic",
+    "TABLE3_DEFAULTS",
+    "ProblemInstance",
+    "sample_instances",
+    "dataset_to_dict",
+    "dataset_from_dict",
+    "save_dataset",
+    "load_dataset",
+]

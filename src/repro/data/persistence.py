@@ -1,0 +1,102 @@
+"""Dataset persistence: pin generated universes to disk.
+
+Reproducibility beyond seeds: a sweep can save the exact (token -> HT)
+labels and ring decomposition it ran on, and a later run (or another
+machine) reloads them bit-for-bit.  JSON, versioned, validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.ring import Ring, TokenUniverse
+
+__all__ = [
+    "DATASET_FORMAT_VERSION",
+    "dataset_to_dict",
+    "dataset_from_dict",
+    "save_dataset",
+    "load_dataset",
+]
+
+DATASET_FORMAT_VERSION = 1
+
+
+def dataset_to_dict(
+    universe: TokenUniverse,
+    rings: list[Ring],
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Encode a (universe, rings) pair plus free-form metadata."""
+    return {
+        "version": DATASET_FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "tokens": {token: universe.ht_of(token) for token in sorted(universe)},
+        "rings": [
+            {
+                "rid": ring.rid,
+                "tokens": sorted(ring.tokens),
+                "c": ring.c,
+                "ell": ring.ell,
+                "seq": ring.seq,
+            }
+            for ring in rings
+        ],
+    }
+
+
+def dataset_from_dict(
+    payload: dict[str, Any],
+) -> tuple[TokenUniverse, list[Ring], dict[str, Any]]:
+    """Decode and validate a dataset document.
+
+    Raises:
+        ValueError: on version mismatch or rings referencing unknown
+            tokens.
+    """
+    version = payload.get("version")
+    if version != DATASET_FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version: {version!r}")
+    universe = TokenUniverse(payload["tokens"])
+    rings = []
+    for entry in payload["rings"]:
+        tokens = frozenset(entry["tokens"])
+        missing = tokens - universe.tokens
+        if missing:
+            raise ValueError(
+                f"ring {entry['rid']!r} references unknown tokens: "
+                f"{sorted(missing)[:3]}..."
+            )
+        rings.append(
+            Ring(
+                rid=entry["rid"],
+                tokens=tokens,
+                c=entry["c"],
+                ell=entry["ell"],
+                seq=entry["seq"],
+            )
+        )
+    return universe, rings, dict(payload.get("metadata", {}))
+
+
+def save_dataset(
+    path: str | Path,
+    universe: TokenUniverse,
+    rings: list[Ring],
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write a dataset document to ``path`` (created/overwritten)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(dataset_to_dict(universe, rings, metadata), indent=1)
+    )
+    return path
+
+
+def load_dataset(
+    path: str | Path,
+) -> tuple[TokenUniverse, list[Ring], dict[str, Any]]:
+    """Read a dataset document from ``path``."""
+    return dataset_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,44 @@
+"""Workload builders: turning data sets into experiment problem instances.
+
+Section 7.1: "For each experiment, we sample 1000 problem instances.
+We report the average value of the running time and the size of the
+RS."  A problem instance is a (module universe, target token, c, l)
+tuple; targets are sampled uniformly over the universe's tokens.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.modules import ModuleUniverse
+
+__all__ = ["ProblemInstance", "sample_instances"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProblemInstance:
+    """One selection task for the experiment harness."""
+
+    modules: ModuleUniverse
+    target_token: str
+    c: float
+    ell: int
+
+
+def sample_instances(
+    modules: ModuleUniverse,
+    c: float,
+    ell: int,
+    count: int,
+    seed: int = 0,
+) -> Iterator[ProblemInstance]:
+    """Yield ``count`` instances with uniformly sampled target tokens."""
+    rng = random.Random(seed)
+    tokens = sorted(modules.universe.tokens)
+    if not tokens:
+        raise ValueError("cannot sample instances from an empty universe")
+    for _ in range(count):
+        target = tokens[rng.randrange(len(tokens))]
+        yield ProblemInstance(modules=modules, target_token=target, c=c, ell=ell)

@@ -1,0 +1,43 @@
+"""Experiment harness regenerating every table and figure of Section 7."""
+
+from .figures import (
+    Fig4Measurement,
+    fig3_output_distribution,
+    fig4_bfs_scaling,
+    fig5_vary_c,
+    fig6_vary_ell,
+    fig7_vary_sigma,
+    fig8_vary_super_count,
+    fig9_vary_super_size,
+    fig10_vary_fresh,
+)
+from .harness import (
+    DEFAULT_APPROACHES,
+    ApproachResult,
+    SweepPoint,
+    SweepResult,
+    format_table,
+    run_point,
+    run_sweep,
+)
+from .tables import settings_banner
+
+__all__ = [
+    "fig3_output_distribution",
+    "Fig4Measurement",
+    "fig4_bfs_scaling",
+    "fig5_vary_c",
+    "fig6_vary_ell",
+    "fig7_vary_sigma",
+    "fig8_vary_super_count",
+    "fig9_vary_super_size",
+    "fig10_vary_fresh",
+    "ApproachResult",
+    "SweepPoint",
+    "SweepResult",
+    "run_point",
+    "run_sweep",
+    "format_table",
+    "DEFAULT_APPROACHES",
+    "settings_banner",
+]

@@ -1,0 +1,191 @@
+"""Experiment harness: sweeps, timing and paper-style tables.
+
+Reproduces the evaluation protocol of Section 7.1: for every point of
+a parameter grid, sample problem instances (the paper uses 1000 per
+point; benches default lower to stay laptop-friendly and accept an
+override), run each approach (TM_S, TM_R, TM_P, TM_G), and report the
+average ring size and average running time.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..core.modules import ModuleUniverse, second_config_ell
+from ..core.problem import InfeasibleError
+from ..core.selector import get_selector
+from ..data.workload import ProblemInstance, sample_instances
+
+__all__ = [
+    "ApproachResult",
+    "SweepPoint",
+    "SweepResult",
+    "run_point",
+    "run_sweep",
+    "format_table",
+    "DEFAULT_APPROACHES",
+]
+
+#: The paper's four practical approaches, in its plotting order.
+DEFAULT_APPROACHES = ("smallest", "random", "progressive", "game")
+
+
+@dataclass(frozen=True, slots=True)
+class ApproachResult:
+    """Average size/time of one approach at one sweep point."""
+
+    approach: str
+    mean_size: float
+    mean_time: float
+    instances: int
+    failures: int
+
+    @property
+    def label(self) -> str:
+        return {
+            "smallest": "TM_S",
+            "random": "TM_R",
+            "progressive": "TM_P",
+            "game": "TM_G",
+            "bfs": "TM_B",
+        }.get(self.approach, self.approach)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One x-axis point of a figure: a parameter value and its instances."""
+
+    parameter: str
+    value: object
+    instances: tuple[ProblemInstance, ...]
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All measurements of one figure."""
+
+    parameter: str
+    points: list[object] = field(default_factory=list)
+    results: dict[object, list[ApproachResult]] = field(default_factory=dict)
+
+    def series(self, approach: str, metric: str = "mean_size") -> list[float]:
+        """The y-series of one approach across the sweep (paper's lines)."""
+        values = []
+        for point in self.points:
+            for result in self.results[point]:
+                if result.approach == approach:
+                    values.append(getattr(result, metric))
+        return values
+
+
+def run_point(
+    point: SweepPoint,
+    approaches: Sequence[str] = DEFAULT_APPROACHES,
+    apply_second_config: bool = True,
+    seed: int = 0,
+) -> list[ApproachResult]:
+    """Run every approach over one sweep point's instances."""
+    measurements: list[ApproachResult] = []
+    for approach in approaches:
+        selector = get_selector(approach)
+        rng = random.Random(seed)
+        sizes: list[int] = []
+        times: list[float] = []
+        failures = 0
+        for instance in point.instances:
+            ell = (
+                second_config_ell(instance.ell)
+                if apply_second_config
+                else instance.ell
+            )
+            start = time.perf_counter()
+            try:
+                result = selector(
+                    instance.modules, instance.target_token, instance.c, ell, rng=rng
+                )
+            except InfeasibleError:
+                failures += 1
+                continue
+            times.append(time.perf_counter() - start)
+            sizes.append(result.size)
+        measurements.append(
+            ApproachResult(
+                approach=approach,
+                mean_size=statistics.fmean(sizes) if sizes else float("nan"),
+                mean_time=statistics.fmean(times) if times else float("nan"),
+                instances=len(sizes),
+                failures=failures,
+            )
+        )
+    return measurements
+
+
+def run_sweep(
+    parameter: str,
+    values: Iterable[object],
+    make_modules: Callable[[object], ModuleUniverse],
+    c_of: Callable[[object], float],
+    ell_of: Callable[[object], int],
+    instances_per_point: int = 50,
+    approaches: Sequence[str] = DEFAULT_APPROACHES,
+    apply_second_config: bool = True,
+    seed: int = 0,
+) -> SweepResult:
+    """Run one full figure: a sweep of ``parameter`` over ``values``.
+
+    Args:
+        parameter: display name of the swept parameter.
+        values: the x-axis values.
+        make_modules: builds the module universe for a value (real-data
+            sweeps return the same universe for every value; synthetic
+            sweeps regenerate).
+        c_of / ell_of: the diversity requirement at each value.
+        instances_per_point: sampled targets per point (paper: 1000).
+        approaches: selector names to compare.
+        apply_second_config: target (c, l+1) as TokenMagic does.
+        seed: base RNG seed (varied per point for independence).
+    """
+    sweep = SweepResult(parameter=parameter)
+    for offset, value in enumerate(values):
+        modules = make_modules(value)
+        instances = tuple(
+            sample_instances(
+                modules,
+                c=c_of(value),
+                ell=ell_of(value),
+                count=instances_per_point,
+                seed=seed + offset,
+            )
+        )
+        point = SweepPoint(parameter=parameter, value=value, instances=instances)
+        sweep.points.append(value)
+        sweep.results[value] = run_point(
+            point,
+            approaches=approaches,
+            apply_second_config=apply_second_config,
+            seed=seed + offset,
+        )
+    return sweep
+
+
+def format_table(sweep: SweepResult, metric: str = "mean_size", unit: str = "") -> str:
+    """Render a sweep as the paper-style rows (one line per approach)."""
+    approaches = [r.approach for r in sweep.results[sweep.points[0]]]
+    header = f"{sweep.parameter:>12} | " + " | ".join(
+        f"{str(value):>10}" for value in sweep.points
+    )
+    lines = [header, "-" * len(header)]
+    for approach in approaches:
+        row_values = []
+        for value in sweep.points:
+            for result in sweep.results[value]:
+                if result.approach == approach:
+                    row_values.append(getattr(result, metric))
+        label = ApproachResult(approach, 0, 0, 0, 0).label
+        cells = " | ".join(f"{value:>10.4g}" for value in row_values)
+        lines.append(f"{label:>12} | {cells}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Experimental settings of the paper (Tables 2 and 3).
+
+Default values (bold in the paper) and the sweep grids, recorded as
+constants so every bench prints the exact setting it runs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2_C_VALUES",
+    "TABLE2_ELL_VALUES",
+    "TABLE2_DEFAULT_C",
+    "TABLE2_DEFAULT_ELL",
+    "TABLE3_SIZE_RANGES",
+    "TABLE3_SUPER_VALUES",
+    "TABLE3_FRESH_VALUES",
+    "TABLE3_SIGMA_VALUES",
+    "TABLE3_DEFAULT_SIZE_RANGE",
+    "TABLE3_DEFAULT_SUPER_COUNT",
+    "TABLE3_DEFAULT_FRESH_COUNT",
+    "TABLE3_DEFAULT_SIGMA",
+    "settings_banner",
+]
+
+# Table 2 — real data set.
+TABLE2_C_VALUES = (0.2, 0.4, 0.6, 0.8, 1.0)
+TABLE2_ELL_VALUES = (20, 30, 40, 50, 60)
+TABLE2_DEFAULT_C = 0.6
+TABLE2_DEFAULT_ELL = 40
+
+# Table 3 — synthetic data sets.
+TABLE3_SIZE_RANGES = ((1, 10), (5, 15), (10, 20), (15, 25), (20, 30))
+TABLE3_SUPER_VALUES = (10, 30, 50, 70, 90)
+TABLE3_FRESH_VALUES = (0, 5, 10, 15, 20)
+TABLE3_SIGMA_VALUES = (8, 10, 12, 14, 16)
+TABLE3_DEFAULT_SIZE_RANGE = (10, 20)
+TABLE3_DEFAULT_SUPER_COUNT = 50
+TABLE3_DEFAULT_FRESH_COUNT = 10
+TABLE3_DEFAULT_SIGMA = 12
+
+
+def settings_banner(experiment: str, **overrides: object) -> str:
+    """A printable header reminding which Table 2/3 setting a bench runs."""
+    lines = [
+        f"== {experiment} ==",
+        f"Table 2 defaults: c={TABLE2_DEFAULT_C}, l={TABLE2_DEFAULT_ELL}",
+        (
+            "Table 3 defaults: |s_i|="
+            f"{list(TABLE3_DEFAULT_SIZE_RANGE)}, |S|={TABLE3_DEFAULT_SUPER_COUNT}, "
+            f"|F|={TABLE3_DEFAULT_FRESH_COUNT}, sigma={TABLE3_DEFAULT_SIGMA}"
+        ),
+    ]
+    if overrides:
+        pairs = ", ".join(f"{key}={value}" for key, value in overrides.items())
+        lines.append(f"Overrides: {pairs}")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Longitudinal economy simulation over the full stack.
+
+Mints, spends through TokenMagic, mempool mining, and anonymity
+measurement over time — the deployment-shaped harness the examples and
+policy ablations drive.
+"""
+
+from .economy import Economy, EconomyConfig, TickReport
+
+__all__ = ["Economy", "EconomyConfig", "TickReport"]

@@ -1,0 +1,226 @@
+"""A discrete-time economy simulation over the full stack.
+
+Drives the whole system the way a deployment would: every tick, new
+coinbase-style transactions mint tokens, users spend existing tokens
+through the TokenMagic framework with a configurable selection policy,
+blocks are mined from a mempool, and an observer measures anonymity
+over the accumulating ring population.
+
+Used by the longitudinal example and the policy-comparison ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..analysis.chain_reaction import exact_analysis
+from ..analysis.metrics import PopulationMetrics, population_metrics
+from ..chain.blockchain import Blockchain
+from ..chain.mempool import Mempool
+from ..chain.transaction import RingInput, Transaction
+from ..core.problem import InfeasibleError
+from ..core.relaxation import select_with_relaxation
+from ..tokenmagic.framework import TokenMagic, TokenMagicConfig
+
+__all__ = ["EconomyConfig", "TickReport", "Economy"]
+
+
+@dataclass(frozen=True, slots=True)
+class EconomyConfig:
+    """Simulation parameters.
+
+    Attributes:
+        mints_per_tick: new minting transactions per tick.
+        outputs_per_mint: token outputs per minting transaction.
+        spends_per_tick: spend attempts per tick.
+        c: diversity requirement c for every spender.
+        ell: diversity requirement l for every spender.
+        algorithm: selector name for spenders.
+        batch_lambda: TokenMagic batch parameter.
+        relax_on_failure: walk the Section 4 relaxation ladder when a
+            spend is infeasible instead of dropping it.
+        seed: master RNG seed.
+    """
+
+    mints_per_tick: int = 2
+    outputs_per_mint: int = 3
+    spends_per_tick: int = 2
+    c: float = 1.0
+    ell: int = 3
+    algorithm: str = "progressive"
+    batch_lambda: int = 60
+    relax_on_failure: bool = True
+    seed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class TickReport:
+    """What happened in one tick."""
+
+    tick: int
+    minted_tokens: int
+    attempted_spends: int
+    successful_spends: int
+    relaxed_spends: int
+    infeasible_spends: int
+    mean_ring_size: float
+
+
+class Economy:
+    """The running simulation."""
+
+    def __init__(self, config: EconomyConfig | None = None) -> None:
+        self.config = config or EconomyConfig()
+        self.rng = random.Random(self.config.seed)
+        self.chain = Blockchain(verify_signatures=False)
+        self.magic = TokenMagic(
+            self.chain,
+            TokenMagicConfig(batch_lambda=self.config.batch_lambda),
+        )
+        self.mempool = Mempool(chain=self.chain)
+        self.reports: list[TickReport] = []
+        self._spent_targets: set[str] = set()
+        self._clock = 0.0
+        self._nonce = 0
+
+    # -- one tick ---------------------------------------------------------
+
+    def tick(self) -> TickReport:
+        """Advance the economy by one tick and return its report."""
+        config = self.config
+        tick_index = len(self.reports)
+
+        minted = self._mint()
+        attempted = successes = relaxed = infeasible = 0
+        ring_sizes: list[int] = []
+
+        spendable = sorted(self.chain.universe.tokens - self._spent_targets)
+        for _ in range(config.spends_per_tick):
+            if not spendable:
+                break
+            attempted += 1
+            target = spendable.pop(self.rng.randrange(len(spendable)))
+            outcome = self._spend(target)
+            if outcome is None:
+                infeasible += 1
+                continue
+            size, was_relaxed = outcome
+            successes += 1
+            relaxed += int(was_relaxed)
+            ring_sizes.append(size)
+
+        self.mempool.mine_block(timestamp=self._next_time())
+
+        report = TickReport(
+            tick=tick_index,
+            minted_tokens=minted,
+            attempted_spends=attempted,
+            successful_spends=successes,
+            relaxed_spends=relaxed,
+            infeasible_spends=infeasible,
+            mean_ring_size=(
+                sum(ring_sizes) / len(ring_sizes) if ring_sizes else 0.0
+            ),
+        )
+        self.reports.append(report)
+        return report
+
+    def run(self, ticks: int) -> list[TickReport]:
+        """Run ``ticks`` ticks and return their reports."""
+        return [self.tick() for _ in range(ticks)]
+
+    # -- measurements -----------------------------------------------------
+
+    def anonymity(self) -> PopulationMetrics | None:
+        """Attack the current ring population (None when empty)."""
+        rings = list(self.chain.rings)
+        if not rings:
+            return None
+        return population_metrics(rings, self.chain.universe)
+
+    def deanonymization_rate(self) -> float:
+        rings = list(self.chain.rings)
+        if not rings:
+            return 0.0
+        return exact_analysis(rings).deanonymization_rate
+
+    # -- internals ----------------------------------------------------------
+
+    def _next_time(self) -> float:
+        self._clock += 1.0
+        return self._clock
+
+    def _next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+    def _mint(self) -> int:
+        config = self.config
+        txs = [
+            Transaction(
+                inputs=(),
+                output_count=config.outputs_per_mint,
+                nonce=self._next_nonce(),
+            )
+            for _ in range(config.mints_per_tick)
+        ]
+        block = self.chain.make_block(txs, timestamp=self._next_time())
+        self.chain.append_block(block)
+        # Batches may have shifted: reset cached registries.
+        self.magic = TokenMagic(
+            self.chain,
+            TokenMagicConfig(batch_lambda=config.batch_lambda),
+        )
+        return sum(tx.output_count for tx in txs)
+
+    def _spend(self, target: str) -> tuple[int, bool] | None:
+        config = self.config
+        try:
+            result = self.magic.generate_ring(
+                target, config.c, config.ell, algorithm=config.algorithm,
+                rng=self.rng,
+            )
+            was_relaxed = False
+        except InfeasibleError:
+            if not config.relax_on_failure:
+                return None
+            from ..core.modules import ModuleUniverse
+            from ..tokenmagic.batch import batch_of_token, rings_over_batch
+
+            try:
+                batch = batch_of_token(self.magic.batches(), target)
+            except KeyError:
+                return None
+            registry = self.magic.registry_for(batch)
+            modules = ModuleUniverse(batch.universe, registry.rings)
+            try:
+                result, step = select_with_relaxation(
+                    modules, target, config.c, config.ell,
+                    algorithm=config.algorithm, rng=self.rng,
+                )
+            except InfeasibleError:
+                return None
+            was_relaxed = not step.is_original
+
+        from ..crypto.keys import keypair_from_seed
+
+        self.magic.commit_ring(result, config.c, config.ell)
+        # Each simulated token is controlled by a deterministic key so
+        # the ledger's key-image double-spend guard stays live.
+        keypair = keypair_from_seed(f"sim-owner/{target}")
+        tx = Transaction(
+            inputs=(
+                RingInput(
+                    ring_tokens=tuple(sorted(result.tokens)),
+                    key_image=keypair.key_image(),
+                    claimed_c=config.c,
+                    claimed_ell=config.ell,
+                ),
+            ),
+            output_count=1,
+            nonce=self._next_nonce(),
+        )
+        self.mempool.submit(tx)
+        self._spent_targets.add(target)
+        return result.size, was_relaxed

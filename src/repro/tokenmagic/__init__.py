@@ -1,0 +1,30 @@
+"""TokenMagic framework: batches, registries and Algorithm 1.
+
+See Section 4 of the paper.  The framework bounds related RS sets by
+partitioning the chain into token batches, infers provably-consumed
+tokens through the Theorem 4.1 neighbor-set rule, enforces the eta
+reserve requirement, and randomizes the final ring choice through
+candidate sets so that deterministic selectors leak nothing.
+"""
+
+from .batch import Batch, batch_of_token, build_batches, rings_over_batch
+from .framework import TokenMagic, TokenMagicConfig
+from .registry import (
+    BatchRegistry,
+    ReserveViolation,
+    consumed_closure,
+    neighbor_set_consumed,
+)
+
+__all__ = [
+    "Batch",
+    "build_batches",
+    "batch_of_token",
+    "rings_over_batch",
+    "TokenMagic",
+    "TokenMagicConfig",
+    "BatchRegistry",
+    "ReserveViolation",
+    "consumed_closure",
+    "neighbor_set_consumed",
+]

@@ -1,0 +1,108 @@
+"""Batch partitioning of the chain (Section 4, Figure 2).
+
+TokenMagic partitions blocks into disjoint, sequential batches, each
+holding at least ``lambda`` token outputs.  A token's mixin universe is
+exactly the token set of its batch, so mixin universes of different
+batches are disjoint — which bounds the related RS set of any ring by
+the batch size and makes DTRS reasoning local.
+
+The scan is the paper's: walk blocks in ascending order, close the
+current batch as soon as its token count reaches lambda.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ring import Ring, TokenUniverse
+from ..chain.blockchain import Blockchain
+
+__all__ = ["Batch", "build_batches", "batch_of_token"]
+
+
+@dataclass(frozen=True, slots=True)
+class Batch:
+    """One batch: a contiguous block range and its token universe.
+
+    Attributes:
+        index: batch position (0-based).
+        first_height: height of the first block in the batch.
+        last_height: height of the last block in the batch.
+        universe: token -> HT map over the batch's token outputs.
+        complete: False for the still-filling tail batch (fewer than
+            lambda tokens so far).
+    """
+
+    index: int
+    first_height: int
+    last_height: int
+    universe: TokenUniverse
+    complete: bool
+
+    def __contains__(self, token_id: str) -> bool:
+        return token_id in self.universe
+
+    @property
+    def token_count(self) -> int:
+        return len(self.universe)
+
+
+def build_batches(chain: Blockchain, batch_lambda: int) -> list[Batch]:
+    """Build the consensus batch list for ``chain``.
+
+    Every node computes the same list because lambda is a public system
+    parameter and the block list is agreed (Section 4).
+
+    Args:
+        chain: the blockchain to partition.
+        batch_lambda: minimum tokens per batch (the paper's lambda).
+    """
+    if batch_lambda < 1:
+        raise ValueError("lambda must be >= 1")
+    batches: list[Batch] = []
+    current: dict[str, str] = {}
+    first_height = 0
+    for block in chain.blocks:
+        for tx in block.transactions:
+            for output in tx.make_outputs():
+                current[output.token_id] = output.origin_tx
+        if len(current) >= batch_lambda:
+            batches.append(
+                Batch(
+                    index=len(batches),
+                    first_height=first_height,
+                    last_height=block.height,
+                    universe=TokenUniverse(current),
+                    complete=True,
+                )
+            )
+            current = {}
+            first_height = block.height + 1
+    if current:
+        batches.append(
+            Batch(
+                index=len(batches),
+                first_height=first_height,
+                last_height=chain.height - 1,
+                universe=TokenUniverse(current),
+                complete=False,
+            )
+        )
+    return batches
+
+
+def batch_of_token(batches: list[Batch], token_id: str) -> Batch:
+    """The batch whose universe contains ``token_id``.
+
+    Raises:
+        KeyError: if the token is in no batch.
+    """
+    for batch in batches:
+        if token_id in batch:
+            return batch
+    raise KeyError(f"token {token_id!r} is in no batch")
+
+
+def rings_over_batch(rings: list[Ring], batch: Batch) -> list[Ring]:
+    """Rings selecting mixins from ``batch`` (their R_pi^T)."""
+    return [ring for ring in rings if any(token in batch for token in ring.tokens)]

@@ -1,0 +1,258 @@
+"""The TokenMagic framework — Algorithm 1 (Section 4).
+
+Ties the pieces together for one spend:
+
+1. locate the batch of the consuming token (the mixin universe T),
+2. gather the rings already proposed over that batch,
+3. decompose them into modules under the practical configurations,
+4. run a selector (BFS / Progressive / Game / Smallest / Random) and —
+   in the paper-faithful *candidate mode* — run it for every token in
+   T, collect each produced ring into the candidate sets of all its
+   members, and answer with a uniformly random candidate of the target
+   token, so adversaries cannot invert the deterministic selection.
+
+The framework also exposes the Step-3 policy verifier the ledger can
+install so miners reject rings violating the configurations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..chain.blockchain import Blockchain
+from ..chain.errors import ConfigurationViolation
+from ..chain.transaction import RingInput
+from ..core.modules import (
+    ModuleUniverse,
+    is_superset_or_disjoint,
+    second_config_ell,
+)
+from ..core.problem import InfeasibleError
+from ..core.ring import Ring
+from ..core.selector import SelectionResult, Selector, get_selector
+from .batch import Batch, batch_of_token, build_batches, rings_over_batch
+from .registry import BatchRegistry, ReserveViolation
+
+__all__ = ["TokenMagic", "TokenMagicConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class TokenMagicConfig:
+    """System parameters of the framework.
+
+    Attributes:
+        batch_lambda: minimum tokens per batch (public consensus value).
+        eta: the reserve parameter of Section 4 (0 disables).
+        apply_second_config: target (c, l+1) on new rings so their
+            DTRSs keep (c, l) (Theorem 6.4).
+        candidate_mode: run the full Algorithm 1 candidate-set
+            randomization.  When False the selector runs once, directly
+            for the target token (deterministic; what the paper's
+            efficiency experiments time).
+    """
+
+    batch_lambda: int = 100
+    eta: float = 0.0
+    apply_second_config: bool = True
+    candidate_mode: bool = False
+
+
+class TokenMagic:
+    """Facade: generate configuration-compliant rings over a chain."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        config: TokenMagicConfig | None = None,
+    ) -> None:
+        self.chain = chain
+        self.config = config or TokenMagicConfig()
+        self._registries: dict[int, BatchRegistry] = {}
+
+    # -- batch plumbing ----------------------------------------------------
+
+    def batches(self) -> list[Batch]:
+        return build_batches(self.chain, self.config.batch_lambda)
+
+    def registry_for(self, batch: Batch) -> BatchRegistry:
+        registry = self._registries.get(batch.index)
+        if registry is None:
+            lam = self.config.batch_lambda
+            registry = BatchRegistry(
+                batch=batch,
+                eta=self.config.eta,
+                lambda_effective=2 * lam - 1,
+            )
+            for ring in rings_over_batch(list(self.chain.rings), batch):
+                registry.rings.append(ring)
+            self._registries[batch.index] = registry
+        return registry
+
+    # -- ring generation (Algorithm 1) --------------------------------------
+
+    def generate_ring(
+        self,
+        token_id: str,
+        c: float,
+        ell: int,
+        algorithm: str | Selector = "progressive",
+        rng: random.Random | None = None,
+    ) -> SelectionResult:
+        """Produce a ring consuming ``token_id`` under (c, ell)-diversity.
+
+        Raises:
+            InfeasibleError: when the batch cannot satisfy the request.
+            ReserveViolation: when the eta rule forbids another ring.
+        """
+        generator = rng if rng is not None else random.Random()
+        selector = get_selector(algorithm) if isinstance(algorithm, str) else algorithm
+        batch = batch_of_token(self.batches(), token_id)
+        registry = self.registry_for(batch)
+        target_ell = (
+            second_config_ell(ell) if self.config.apply_second_config else ell
+        )
+        modules = ModuleUniverse(batch.universe, registry.rings)
+
+        if not self.config.candidate_mode:
+            result = selector(modules, token_id, c, target_ell, rng=generator)
+            self._check_admissible(registry, result, c, ell)
+            return result
+
+        # Algorithm 1 proper: one candidate ring per token of the batch.
+        candidates: dict[str, list[SelectionResult]] = {
+            token: [] for token in batch.universe
+        }
+        for token in sorted(batch.universe.tokens):
+            try:
+                result = selector(modules, token, c, target_ell, rng=generator)
+            except InfeasibleError:
+                continue
+            for member in result.tokens:
+                candidates[member].append(result)
+        eligible = candidates[token_id]
+        if not eligible:
+            raise InfeasibleError(
+                f"no candidate ring contains token {token_id!r} under "
+                f"({c}, {ell})-diversity"
+            )
+        chosen = eligible[generator.randrange(len(eligible))]
+        chosen = SelectionResult(
+            tokens=chosen.tokens,
+            target_token=token_id,
+            modules=chosen.modules,
+            elapsed=chosen.elapsed,
+            algorithm=chosen.algorithm,
+        )
+        self._check_admissible(registry, chosen, c, ell)
+        return chosen
+
+    def commit_ring(self, result: SelectionResult, c: float, ell: int) -> Ring:
+        """Record a generated ring in its batch registry and return it."""
+        batch = batch_of_token(self.batches(), result.target_token)
+        registry = self.registry_for(batch)
+        ring = Ring(
+            rid=f"tm:{batch.index}:{len(registry.rings)}",
+            tokens=result.tokens,
+            c=c,
+            ell=ell,
+            seq=len(registry.rings),
+        )
+        registry.admit(ring)
+        return ring
+
+    def _check_admissible(
+        self, registry: BatchRegistry, result: SelectionResult, c: float, ell: int
+    ) -> None:
+        probe = Ring(
+            rid="tm:probe",
+            tokens=result.tokens,
+            c=c,
+            ell=ell,
+            seq=len(registry.rings),
+        )
+        if registry.eta > 0 and not registry.reserve_ok(probe):
+            raise ReserveViolation(
+                f"ring for {result.target_token!r} violates the eta reserve rule"
+            )
+
+    # -- Step-3 policy verifier ---------------------------------------------
+
+    def policy_verifier(
+        self,
+        check_diversity_claim: bool = True,
+        check_reserve: bool = True,
+    ):
+        """A ledger policy enforcing the paper's Step-3 configurations.
+
+        Install on a :class:`~repro.chain.Blockchain` via
+        ``policy_verifiers`` so miners reject rings that:
+
+        * mix tokens from different batches (batch locality),
+        * are neither supersets nor disjoint of existing rings
+          (first practical configuration),
+        * fail their own claimed recursive (c, l)-diversity — lifted to
+          (c, l+1) when the second configuration is active — evaluated
+          through the polynomial Theorem 6.1 check
+          (``check_diversity_claim``),
+        * would break the eta reserve requirement
+          (``check_reserve``, active when the framework's eta > 0).
+        """
+        from ..core.modules import ring_is_recursive_diverse_config
+        from ..core.ring import Ring
+        from ..core.modules import ModuleUniverse
+
+        def verifier(chain: Blockchain, ring_input: RingInput) -> None:
+            tokens = ring_input.token_set()
+            batches = build_batches(chain, self.config.batch_lambda)
+            containing = None
+            for batch in batches:
+                inside = sum(1 for token in tokens if token in batch)
+                if inside:
+                    if inside != len(tokens):
+                        raise ConfigurationViolation(
+                            "ring mixes tokens from different batches"
+                        )
+                    containing = batch
+                    break
+            if containing is None:
+                raise ConfigurationViolation("ring tokens are in no batch")
+            related = rings_over_batch(list(chain.rings), containing)
+            if not is_superset_or_disjoint(tokens, related):
+                raise ConfigurationViolation(
+                    "ring is neither a superset nor disjoint of an existing ring"
+                )
+            probe = Ring(
+                rid="policy:probe",
+                tokens=tokens,
+                c=ring_input.claimed_c,
+                ell=ring_input.claimed_ell,
+                seq=len(related),
+            )
+            if check_diversity_claim:
+                target_ell = (
+                    second_config_ell(ring_input.claimed_ell)
+                    if self.config.apply_second_config
+                    else ring_input.claimed_ell
+                )
+                modules = ModuleUniverse(containing.universe, related)
+                if not ring_is_recursive_diverse_config(
+                    probe, modules, c=ring_input.claimed_c, ell=target_ell
+                ):
+                    raise ConfigurationViolation(
+                        f"ring does not satisfy its claimed recursive "
+                        f"({ring_input.claimed_c}, {target_ell})-diversity"
+                    )
+            if check_reserve and self.config.eta > 0:
+                registry = BatchRegistry(
+                    batch=containing,
+                    eta=self.config.eta,
+                    lambda_effective=2 * self.config.batch_lambda - 1,
+                    rings=list(related),
+                )
+                if not registry.reserve_ok(probe):
+                    raise ConfigurationViolation(
+                        "ring would violate the eta reserve requirement"
+                    )
+
+        return verifier

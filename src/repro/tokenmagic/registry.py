@@ -1,0 +1,148 @@
+"""Per-batch ring registry: neighbor sets, Theorem 4.1 inference, eta rule.
+
+Section 4 of the paper keeps, per token, a *neighbor set* — the rings
+containing the token, in proposal order.  Theorem 4.1 says: whenever
+the union of a neighbor set's rings has exactly as many tokens as there
+are rings, every token in the union is provably consumed.  The closure
+of that rule yields mu_i, the number of infer-able consumed tokens
+after i rings, and TokenMagic only admits a new ring while
+
+    i - mu_i >= eta * (|T| - i)
+
+so that future spenders can still find eligible rings (the reserve
+requirement at the end of Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.ring import Ring, TokenUniverse
+from .batch import Batch
+
+__all__ = [
+    "BatchRegistry",
+    "ReserveViolation",
+    "consumed_closure",
+    "neighbor_set_consumed",
+]
+
+
+class ReserveViolation(RuntimeError):
+    """Admitting the ring would break the eta reserve requirement."""
+
+
+def consumed_closure(rings: list[Ring]) -> frozenset[str]:
+    """Tokens provably consumed: the full closure of the Theorem 4.1 rule.
+
+    Theorem 4.1: any group of rings R* with |union(R*)| == |R*| has all
+    its tokens consumed.  The exact characterization of "provably
+    consumed" is matching-based and polynomial: token t is consumed in
+    *every* valid world iff no complete token-RS assignment avoids t.
+    This strictly generalizes the paper's per-token neighbor-set
+    detection (see :func:`neighbor_set_consumed`), which misses tight
+    groups not anchored at a single shared token (e.g. the triangle
+    {a,b}, {b,c}, {a,c}).
+    """
+    from ..core.combinations import has_complete_assignment
+
+    if not rings:
+        return frozenset()
+    if not has_complete_assignment(rings):
+        # Contradictory ring set (cannot arise on a valid chain); treat
+        # every ring token as consumed so callers fail safe.
+        tokens: set[str] = set()
+        for ring in rings:
+            tokens |= ring.tokens
+        return frozenset(tokens)
+    consumed: set[str] = set()
+    candidates: set[str] = set()
+    for ring in rings:
+        candidates |= ring.tokens
+    for token in candidates:
+        if not has_complete_assignment(rings, excluded_tokens={token}):
+            consumed.add(token)
+    return frozenset(consumed)
+
+
+def neighbor_set_consumed(rings: list[Ring]) -> frozenset[str]:
+    """The paper's per-token neighbor-set detection (Section 4).
+
+    For each token t, take ns_t = rings containing t and the union of
+    their token sets T#; if |T#| == |ns_t| the Theorem 4.1 condition
+    fires and all of T# is consumed.  Cheaper than the full closure but
+    a sound under-approximation of :func:`consumed_closure`.
+    """
+    consumed: set[str] = set()
+    neighbor_sets: dict[str, list[Ring]] = {}
+    for ring in rings:
+        for token in ring.tokens:
+            neighbor_sets.setdefault(token, []).append(ring)
+    for group in neighbor_sets.values():
+        union: set[str] = set()
+        for ring in group:
+            union |= ring.tokens
+        if len(union) == len(group):
+            consumed |= union
+    return frozenset(consumed)
+
+
+@dataclass(slots=True)
+class BatchRegistry:
+    """Tracks the rings proposed over one batch and enforces the eta rule.
+
+    Attributes:
+        batch: the batch whose token universe this registry guards.
+        eta: the reserve parameter (0 disables the rule).
+        lambda_effective: the |T| stand-in for still-filling batches —
+            the paper substitutes lambda + lambda' - 1 when a batch has
+            fewer than lambda tokens; we take lambda' = lambda unless
+            the caller overrides.
+    """
+
+    batch: Batch
+    eta: float = 0.0
+    lambda_effective: int | None = None
+    rings: list[Ring] = field(default_factory=list)
+
+    @property
+    def universe(self) -> TokenUniverse:
+        return self.batch.universe
+
+    @property
+    def universe_size(self) -> int:
+        """|T| with the incomplete-batch substitution applied."""
+        if self.batch.complete or self.lambda_effective is None:
+            return len(self.batch.universe)
+        return self.lambda_effective
+
+    def consumed_tokens(self) -> frozenset[str]:
+        """mu's witness set: tokens provably consumed so far."""
+        return consumed_closure(self.rings)
+
+    def reserve_ok(self, extra_ring: Ring | None = None) -> bool:
+        """Check i - mu_i >= eta * (|T| - i), optionally with one more ring."""
+        rings = self.rings + ([extra_ring] if extra_ring is not None else [])
+        i = len(rings)
+        mu = len(consumed_closure(rings))
+        return (i - mu) >= self.eta * (self.universe_size - i)
+
+    def admit(self, ring: Ring) -> None:
+        """Record ``ring``, enforcing batch membership and the eta rule.
+
+        Raises:
+            KeyError: if the ring uses tokens outside the batch.
+            ReserveViolation: if admitting it breaks the reserve rule.
+        """
+        for token in ring.tokens:
+            if token not in self.batch:
+                raise KeyError(
+                    f"ring {ring.rid!r} uses token {token!r} outside batch "
+                    f"{self.batch.index}"
+                )
+        if self.eta > 0 and not self.reserve_ok(ring):
+            raise ReserveViolation(
+                f"ring {ring.rid!r} would leave too few consumable tokens "
+                f"(eta={self.eta})"
+            )
+        self.rings.append(ring)

@@ -1,0 +1,40 @@
+"""Shared builders for the test suite (not a test module)."""
+
+from repro.core.modules import ModuleUniverse
+from repro.core.ring import Ring, TokenUniverse
+
+__all__ = ["make_ring", "example3_modules"]
+
+
+def make_ring(rid, tokens, seq=0, c=1.0, ell=1):
+    """Terse ring constructor used across test modules."""
+    return Ring(rid=rid, tokens=frozenset(tokens), c=c, ell=ell, seq=seq)
+
+
+def example3_modules() -> ModuleUniverse:
+    """Paper Example 3: four super RSs over six HTs.
+
+    s1 = {t1..t6}, s2 = {t7..t10}, s3 = {t11, t12}, s4 = {t13..t15};
+    h1 = {t1,t2,t7,t8}, h2 = {t3,t4,t9}, h3 = {t5,t13,t14},
+    h6 = {t6,t10}, h4 = {t11,t15}, h5 = {t12}.
+    """
+    ht = {}
+    for t in ("t1", "t2", "t7", "t8"):
+        ht[t] = "h1"
+    for t in ("t3", "t4", "t9"):
+        ht[t] = "h2"
+    for t in ("t5", "t13", "t14"):
+        ht[t] = "h3"
+    for t in ("t6", "t10"):
+        ht[t] = "h6"
+    for t in ("t11", "t15"):
+        ht[t] = "h4"
+    ht["t12"] = "h5"
+    universe = TokenUniverse(ht)
+    rings = [
+        make_ring("s1", {"t1", "t2", "t3", "t4", "t5", "t6"}, seq=0),
+        make_ring("s2", {"t7", "t8", "t9", "t10"}, seq=1),
+        make_ring("s3", {"t11", "t12"}, seq=2),
+        make_ring("s4", {"t13", "t14", "t15"}, seq=3),
+    ]
+    return ModuleUniverse(universe, rings)

@@ -1,0 +1,86 @@
+"""Unit tests for the side-information adversary and Theorem 6.2."""
+
+import pytest
+
+from repro.analysis.adversary import Adversary, theorem62_threshold
+from repro.core.ring import Ring, TokenUniverse
+
+
+def ring(rid, tokens, seq=0):
+    return Ring(rid=rid, tokens=frozenset(tokens), seq=seq)
+
+
+class TestTheorem62:
+    def test_threshold_value(self):
+        # |r| = 4, most frequent HT appears twice: threshold = 2.
+        universe = TokenUniverse({"a": "h1", "b": "h1", "c": "h2", "d": "h3"})
+        r = ring("r", {"a", "b", "c", "d"})
+        assert theorem62_threshold(r, universe) == 2
+
+    def test_homogeneous_ring_has_zero_threshold(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        r = ring("r", {"a", "b"})
+        assert theorem62_threshold(r, universe) == 0
+
+    def test_fully_diverse_ring(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3"})
+        r = ring("r", {"a", "b", "c"})
+        assert theorem62_threshold(r, universe) == 2
+
+
+class TestAdversary:
+    def setup_method(self):
+        self.universe = TokenUniverse(
+            {"a": "h1", "b": "h2", "c": "h2", "d": "h3"}
+        )
+        self.r1 = ring("r1", {"a", "b"})
+        self.r2 = ring("r2", {"a", "c"})
+        self.rings = [self.r1, self.r2]
+
+    def test_learn_and_size(self):
+        adversary = Adversary(self.universe)
+        adversary.learn("r1", "a")
+        assert adversary.side_information_size == 1
+
+    def test_contradictory_learning_rejected(self):
+        adversary = Adversary(self.universe)
+        adversary.learn("r1", "a")
+        with pytest.raises(ValueError):
+            adversary.learn("r1", "b")
+
+    def test_relearning_same_pair_ok(self):
+        adversary = Adversary(self.universe)
+        adversary.learn("r1", "a")
+        adversary.learn("r1", "a")
+        assert adversary.side_information_size == 1
+
+    def test_inferred_pairs_excludes_known(self):
+        adversary = Adversary(self.universe)
+        adversary.learn("r1", "a")
+        inferred = adversary.inferred_pairs(self.rings)
+        assert "r1" not in inferred
+        assert inferred == {"r2": "c"}
+
+    def test_no_side_information_no_inference(self):
+        adversary = Adversary(self.universe)
+        assert adversary.inferred_pairs(self.rings) == {}
+
+    def test_can_confirm_ht_after_learning(self):
+        adversary = Adversary(self.universe)
+        assert not adversary.can_confirm_ht(self.r2, self.rings)
+        adversary.learn("r1", "a")
+        assert adversary.can_confirm_ht(self.r2, self.rings)
+
+    def test_theorem62_safety_check(self):
+        adversary = Adversary(self.universe)
+        # r1: |r|=2, q_M=1 -> threshold 1; empty SI is safe.
+        assert adversary.is_safe_by_theorem62(self.r1)
+        adversary.learn("r2", "c")
+        assert not adversary.is_safe_by_theorem62(self.r1)
+
+    def test_theorem62_guarantee_holds(self):
+        # While |SI| < threshold, the HT is genuinely unconfirmed.
+        adversary = Adversary(self.universe)
+        for target in self.rings:
+            if adversary.is_safe_by_theorem62(target):
+                assert not adversary.can_confirm_ht(target, self.rings)

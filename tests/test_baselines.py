@@ -1,0 +1,100 @@
+"""Unit tests for the Smallest (TM_S) and Random (TM_R) baselines."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import random_select, smallest_select
+from repro.core.diversity import ht_counts_satisfy
+from repro.core.modules import ModuleUniverse
+from repro.core.problem import InfeasibleError
+from repro.core.ring import TokenUniverse
+
+from helpers import example3_modules
+
+
+class TestSmallest:
+    def test_result_eligible(self):
+        modules = example3_modules()
+        result = smallest_select(modules, "t11", c=1.0, ell=4)
+        assert ht_counts_satisfy(modules.universe.ht_counts(result.tokens), 1.0, 4)
+
+    def test_picks_smallest_first(self):
+        modules = example3_modules()
+        result = smallest_select(modules, "t11", c=1.0, ell=4)
+        # s3 (anchor), then s4 (size 3) before s2 (size 4), s1 (size 6).
+        assert result.modules[0] == "s:s3"
+        assert result.modules[1] == "s:s4"
+
+    def test_deterministic(self):
+        modules = example3_modules()
+        assert (
+            smallest_select(modules, "t11", c=1.0, ell=4).tokens
+            == smallest_select(modules, "t11", c=1.0, ell=4).tokens
+        )
+
+    def test_infeasible_when_exhausted(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        modules = ModuleUniverse(universe, [])
+        with pytest.raises(InfeasibleError):
+            smallest_select(modules, "a", c=1.0, ell=2)
+
+    def test_anchor_included(self):
+        modules = example3_modules()
+        result = smallest_select(modules, "t7", c=1.0, ell=4)
+        assert "t7" in result.tokens
+
+    def test_algorithm_label(self):
+        result = smallest_select(example3_modules(), "t11", c=1.0, ell=4)
+        assert result.algorithm == "smallest"
+
+
+class TestRandom:
+    def test_result_eligible(self):
+        modules = example3_modules()
+        result = random_select(modules, "t11", c=1.0, ell=4, rng=random.Random(1))
+        assert ht_counts_satisfy(modules.universe.ht_counts(result.tokens), 1.0, 4)
+
+    def test_seeded_rng_reproducible(self):
+        modules = example3_modules()
+        a = random_select(modules, "t11", c=1.0, ell=4, rng=random.Random(5))
+        b = random_select(modules, "t11", c=1.0, ell=4, rng=random.Random(5))
+        assert a.tokens == b.tokens
+
+    def test_different_seeds_can_differ(self):
+        modules = example3_modules()
+        outcomes = {
+            random_select(modules, "t11", c=1.0, ell=4, rng=random.Random(seed)).tokens
+            for seed in range(12)
+        }
+        assert len(outcomes) > 1
+
+    def test_unseeded_runs(self):
+        modules = example3_modules()
+        result = random_select(modules, "t11", c=1.0, ell=4)
+        assert "t11" in result.tokens
+
+    def test_infeasible_when_exhausted(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        modules = ModuleUniverse(universe, [])
+        with pytest.raises(InfeasibleError):
+            random_select(modules, "a", c=1.0, ell=2, rng=random.Random(0))
+
+    def test_algorithm_label(self):
+        result = random_select(example3_modules(), "t11", c=1.0, ell=4)
+        assert result.algorithm == "random"
+
+
+class TestRegistry:
+    def test_all_selectors_registered(self):
+        from repro.core.selector import SELECTORS, get_selector
+
+        for name in ("progressive", "game", "smallest", "random"):
+            assert name in SELECTORS
+            assert callable(get_selector(name))
+
+    def test_unknown_selector_rejected(self):
+        from repro.core.selector import get_selector
+
+        with pytest.raises(KeyError, match="progressive"):
+            get_selector("definitely-not-a-selector")

@@ -1,0 +1,95 @@
+"""Unit tests for TokenMagic batch partitioning."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.transaction import Transaction
+from repro.tokenmagic.batch import Batch, batch_of_token, build_batches
+
+
+def chain_with_blocks(tokens_per_block, start_nonce=0):
+    """A chain with one coinbase per block, given output counts."""
+    chain = Blockchain(verify_signatures=False)
+    for index, count in enumerate(tokens_per_block):
+        tx = Transaction(inputs=(), output_count=count, nonce=start_nonce + index)
+        chain.append_block(chain.make_block([tx], timestamp=float(index)))
+    return chain
+
+
+class TestBuildBatches:
+    def test_single_batch_exact_lambda(self):
+        chain = chain_with_blocks([3, 3])
+        batches = build_batches(chain, batch_lambda=6)
+        assert len(batches) == 1
+        assert batches[0].token_count == 6
+        assert batches[0].complete
+
+    def test_batch_closes_when_threshold_met(self):
+        chain = chain_with_blocks([2, 2, 2, 2])
+        batches = build_batches(chain, batch_lambda=3)
+        # Blocks of 2: batch closes at 4 tokens (>= 3), twice.
+        assert [b.token_count for b in batches] == [4, 4]
+        assert all(b.complete for b in batches)
+
+    def test_tail_batch_incomplete(self):
+        chain = chain_with_blocks([2, 2, 1])
+        batches = build_batches(chain, batch_lambda=4)
+        assert len(batches) == 2
+        assert batches[0].complete
+        assert not batches[1].complete
+        assert batches[1].token_count == 1
+
+    def test_batches_are_disjoint_and_cover(self):
+        chain = chain_with_blocks([3, 1, 4, 2, 5])
+        batches = build_batches(chain, batch_lambda=5)
+        seen = set()
+        for batch in batches:
+            assert seen.isdisjoint(batch.universe.tokens)
+            seen |= batch.universe.tokens
+        assert seen == chain.universe.tokens
+
+    def test_block_ranges_are_sequential(self):
+        chain = chain_with_blocks([2, 2, 2, 2, 2])
+        batches = build_batches(chain, batch_lambda=4)
+        for earlier, later in zip(batches, batches[1:]):
+            assert later.first_height == earlier.last_height + 1
+
+    def test_invalid_lambda_rejected(self):
+        chain = chain_with_blocks([2])
+        with pytest.raises(ValueError):
+            build_batches(chain, batch_lambda=0)
+
+    def test_empty_chain(self):
+        chain = Blockchain(verify_signatures=False)
+        assert build_batches(chain, batch_lambda=5) == []
+
+    def test_deterministic_consensus(self):
+        # Two nodes replaying the same blocks derive the same batches.
+        chain_a = chain_with_blocks([3, 2, 4])
+        chain_b = chain_with_blocks([3, 2, 4])
+        batches_a = build_batches(chain_a, batch_lambda=5)
+        batches_b = build_batches(chain_b, batch_lambda=5)
+        assert [b.universe.tokens for b in batches_a] == [
+            b.universe.tokens for b in batches_b
+        ]
+
+
+class TestBatchLookup:
+    def test_batch_of_token(self):
+        chain = chain_with_blocks([2, 2])
+        batches = build_batches(chain, batch_lambda=2)
+        token = next(iter(batches[1].universe.tokens))
+        assert batch_of_token(batches, token).index == 1
+
+    def test_missing_token_raises(self):
+        chain = chain_with_blocks([2])
+        batches = build_batches(chain, batch_lambda=2)
+        with pytest.raises(KeyError):
+            batch_of_token(batches, "ghost:0")
+
+    def test_contains(self):
+        chain = chain_with_blocks([2])
+        batch = build_batches(chain, batch_lambda=2)[0]
+        token = next(iter(batch.universe.tokens))
+        assert token in batch
+        assert "ghost:0" not in batch

@@ -1,0 +1,106 @@
+"""Unit tests for the exact BFS solver (Algorithm 2)."""
+
+import pytest
+
+from repro.core.bfs import SearchBudgetExceeded, bfs_select
+from repro.core.problem import DamsInstance, InfeasibleError, is_feasible_exact
+from repro.core.ring import Ring, TokenUniverse
+
+
+def ring(rid, tokens, seq=0, c=1.0, ell=1):
+    return Ring(rid=rid, tokens=frozenset(tokens), c=c, ell=ell, seq=seq)
+
+
+class TestOptimality:
+    def test_example1_optimum(self):
+        universe = TokenUniverse({"t1": "h1", "t2": "h2", "t3": "h1", "t4": "h3"})
+        r1 = ring("r1", {"t1", "t2"}, seq=0, c=2.0, ell=2)
+        r2 = ring("r2", {"t1", "t2"}, seq=1, c=2.0, ell=2)
+        instance = DamsInstance(universe, [r1, r2], "t3", c=2.0, ell=2)
+        result = bfs_select(instance)
+        assert result.ring.tokens == frozenset({"t3", "t4"})
+        assert result.mixins == frozenset({"t4"})
+
+    def test_empty_history_minimal_ring(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3", "d": "h4"})
+        instance = DamsInstance(universe, [], "a", c=2.0, ell=2)
+        result = bfs_select(instance)
+        # Two tokens from two HTs suffice: 1 < 2 * 1.
+        assert len(result.ring.tokens) == 2
+
+    def test_result_is_feasible(self):
+        universe = TokenUniverse(
+            {f"t{i}": f"h{i % 3}" for i in range(6)}
+        )
+        instance = DamsInstance(universe, [], "t0", c=2.0, ell=3)
+        result = bfs_select(instance)
+        assert is_feasible_exact(instance, result.mixins)
+
+    def test_never_larger_than_any_feasible_set(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3", "d": "h4"})
+        instance = DamsInstance(universe, [], "a", c=1.0, ell=2)
+        result = bfs_select(instance)
+        # Any feasible competitor must be at least as large.
+        from itertools import combinations
+
+        for size in range(len(result.mixins)):
+            for mixins in combinations(sorted(instance.candidate_mixins()), size):
+                assert not is_feasible_exact(instance, set(mixins))
+
+    def test_counts_candidates(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        instance = DamsInstance(universe, [], "a", c=2.0, ell=2)
+        result = bfs_select(instance)
+        assert result.candidates_checked >= 1
+        assert result.elapsed >= 0
+
+
+class TestFailureModes:
+    def test_infeasible_raises(self):
+        # Only one HT available: no l=2 requirement can ever hold.
+        universe = TokenUniverse({"a": "h1", "b": "h1", "c": "h1"})
+        instance = DamsInstance(universe, [], "a", c=5.0, ell=2)
+        with pytest.raises(InfeasibleError):
+            bfs_select(instance)
+
+    def test_time_budget_enforced(self):
+        # Only 3 distinct HTs but l = 5: infeasible, so the search must
+        # enumerate all 2^21 candidates — the tiny budget trips first.
+        universe = TokenUniverse({f"t{i:02d}": f"h{i % 3}" for i in range(22)})
+        rings = [
+            ring(f"r{i}", {f"t{j:02d}" for j in range(i, i + 4)}, seq=i, c=5.0, ell=2)
+            for i in range(6)
+        ]
+        instance = DamsInstance(universe, rings, "t21", c=5.0, ell=5)
+        with pytest.raises(SearchBudgetExceeded):
+            bfs_select(instance, time_budget=0.01)
+
+    def test_max_mixins_cap(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1", "c": "h1", "d": "h2"})
+        instance = DamsInstance(universe, [], "a", c=0.5, ell=2)
+        with pytest.raises(InfeasibleError):
+            bfs_select(instance, max_mixins=1)
+
+
+class TestAgainstBruteForce:
+    def test_matches_exhaustive_minimum(self):
+        from itertools import combinations
+
+        universe = TokenUniverse(
+            {"a": "h1", "b": "h2", "c": "h1", "d": "h3", "e": "h2"}
+        )
+        existing = [ring("r1", {"a", "b"}, seq=0, c=2.0, ell=2)]
+        instance = DamsInstance(universe, existing, "c", c=2.0, ell=2)
+        result = bfs_select(instance)
+
+        best = None
+        candidates = sorted(instance.candidate_mixins())
+        for size in range(len(candidates) + 1):
+            for mixins in combinations(candidates, size):
+                if is_feasible_exact(instance, set(mixins)):
+                    best = size
+                    break
+            if best is not None:
+                break
+        assert best is not None
+        assert len(result.mixins) == best

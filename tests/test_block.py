@@ -1,0 +1,55 @@
+"""Unit tests for blocks and the Merkle digest."""
+
+import pytest
+
+from repro.chain.block import GENESIS_HASH, Block
+from repro.chain.transaction import Transaction
+
+
+def coinbase(outputs=2, nonce=0):
+    return Transaction(inputs=(), output_count=outputs, nonce=nonce)
+
+
+class TestBlock:
+    def test_hash_deterministic(self):
+        tx = coinbase()
+        a = Block(height=0, prev_hash=GENESIS_HASH, timestamp=1.0, transactions=(tx,))
+        b = Block(height=0, prev_hash=GENESIS_HASH, timestamp=1.0, transactions=(tx,))
+        assert a.block_hash == b.block_hash
+
+    def test_hash_depends_on_transactions(self):
+        a = Block(0, GENESIS_HASH, 1.0, (coinbase(nonce=0),))
+        b = Block(0, GENESIS_HASH, 1.0, (coinbase(nonce=1),))
+        assert a.block_hash != b.block_hash
+
+    def test_hash_depends_on_prev(self):
+        a = Block(1, "a" * 64, 1.0, ())
+        b = Block(1, "b" * 64, 1.0, ())
+        assert a.block_hash != b.block_hash
+
+    def test_hash_depends_on_height_and_time(self):
+        assert (
+            Block(1, GENESIS_HASH, 1.0, ()).block_hash
+            != Block(2, GENESIS_HASH, 1.0, ()).block_hash
+        )
+        assert (
+            Block(1, GENESIS_HASH, 1.0, ()).block_hash
+            != Block(1, GENESIS_HASH, 2.0, ()).block_hash
+        )
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            Block(-1, GENESIS_HASH, 1.0, ())
+
+    def test_token_count(self):
+        block = Block(0, GENESIS_HASH, 1.0, (coinbase(2), coinbase(3, nonce=1)))
+        assert block.token_count == 5
+
+    def test_empty_block_token_count(self):
+        assert Block(0, GENESIS_HASH, 1.0, ()).token_count == 0
+
+    def test_odd_transaction_count_merkle(self):
+        # Odd leaf counts exercise the duplicate-tail branch.
+        txs = tuple(coinbase(nonce=i) for i in range(3))
+        block = Block(0, GENESIS_HASH, 1.0, txs)
+        assert len(block.block_hash) == 64

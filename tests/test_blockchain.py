@@ -1,0 +1,204 @@
+"""Unit and integration tests for the ledger."""
+
+import pytest
+
+from repro.chain.block import GENESIS_HASH, Block
+from repro.chain.blockchain import Blockchain
+from repro.chain.errors import (
+    DoubleSpendError,
+    UnknownTokenError,
+    ValidationError,
+)
+from repro.chain.transaction import RingInput, Transaction
+from repro.crypto.keys import keypair_from_seed
+from repro.crypto.lsag import sign
+
+
+def chain_with_coinbase(outputs=4, verify_signatures=False):
+    chain = Blockchain(verify_signatures=verify_signatures)
+    tx = Transaction(inputs=(), output_count=outputs)
+    chain.append_block(chain.make_block([tx], timestamp=1.0))
+    return chain, tx
+
+
+class TestAppend:
+    def test_genesis_append(self):
+        chain, tx = chain_with_coinbase()
+        assert chain.height == 1
+        assert chain.has_token(f"{tx.tx_id}:0")
+        assert len(chain.universe) == 4
+
+    def test_height_mismatch_rejected(self):
+        chain, _ = chain_with_coinbase()
+        bad = Block(height=5, prev_hash=chain.tip_hash, timestamp=2.0, transactions=())
+        with pytest.raises(ValidationError):
+            chain.append_block(bad)
+
+    def test_prev_hash_mismatch_rejected(self):
+        chain, _ = chain_with_coinbase()
+        bad = Block(height=1, prev_hash=GENESIS_HASH, timestamp=2.0, transactions=())
+        with pytest.raises(ValidationError):
+            chain.append_block(bad)
+
+    def test_unknown_token_rejected(self):
+        chain, _ = chain_with_coinbase()
+        tx = Transaction(
+            inputs=(RingInput(ring_tokens=("ghost:0",)),), output_count=1
+        )
+        with pytest.raises(UnknownTokenError):
+            chain.append_block(chain.make_block([tx], timestamp=2.0))
+
+    def test_state_unchanged_after_rejection(self):
+        chain, _ = chain_with_coinbase()
+        height_before = chain.height
+        tx = Transaction(
+            inputs=(RingInput(ring_tokens=("ghost:0",)),), output_count=1
+        )
+        with pytest.raises(UnknownTokenError):
+            chain.append_block(chain.make_block([tx], timestamp=2.0))
+        assert chain.height == height_before
+
+    def test_rings_view_tracks_inputs(self):
+        chain, coinbase = chain_with_coinbase()
+        members = tuple(sorted(f"{coinbase.tx_id}:{i}" for i in range(2)))
+        spend = Transaction(
+            inputs=(RingInput(ring_tokens=members, claimed_c=2.0, claimed_ell=2),),
+            output_count=1,
+        )
+        chain.append_block(chain.make_block([spend], timestamp=2.0))
+        rings = list(chain.rings)
+        assert len(rings) == 1
+        assert rings[0].tokens == frozenset(members)
+        assert rings[0].c == 2.0
+        assert rings[0].ell == 2
+
+    def test_universe_maps_tokens_to_origin(self):
+        chain, coinbase = chain_with_coinbase()
+        assert chain.universe.ht_of(f"{coinbase.tx_id}:0") == coinbase.tx_id
+
+
+class TestDoubleSpend:
+    def _spend(self, chain, coinbase, keypair, nonce=0):
+        members = tuple(sorted(f"{coinbase.tx_id}:{i}" for i in range(2)))
+        return Transaction(
+            inputs=(
+                RingInput(ring_tokens=members, key_image=keypair.key_image()),
+            ),
+            output_count=1,
+            nonce=nonce,
+        )
+
+    def test_same_key_image_rejected_across_blocks(self):
+        chain, coinbase = chain_with_coinbase()
+        keypair = keypair_from_seed("spender")
+        chain.append_block(
+            chain.make_block([self._spend(chain, coinbase, keypair)], timestamp=2.0)
+        )
+        with pytest.raises(DoubleSpendError):
+            chain.append_block(
+                chain.make_block(
+                    [self._spend(chain, coinbase, keypair, nonce=1)], timestamp=3.0
+                )
+            )
+
+    def test_same_key_image_rejected_within_block(self):
+        chain, coinbase = chain_with_coinbase()
+        keypair = keypair_from_seed("spender")
+        tx_a = self._spend(chain, coinbase, keypair, nonce=0)
+        tx_b = self._spend(chain, coinbase, keypair, nonce=1)
+        with pytest.raises(DoubleSpendError):
+            chain.append_block(chain.make_block([tx_a, tx_b], timestamp=2.0))
+
+    def test_key_image_seen(self):
+        chain, coinbase = chain_with_coinbase()
+        keypair = keypair_from_seed("spender")
+        tx = self._spend(chain, coinbase, keypair)
+        chain.append_block(chain.make_block([tx], timestamp=2.0))
+        assert chain.key_image_seen(keypair.key_image().encode())
+
+
+class TestSignatureVerification:
+    def test_valid_proof_accepted_and_invalid_rejected(self):
+        chain = Blockchain(verify_signatures=True)
+        owners = [keypair_from_seed(f"user{i}") for i in range(3)]
+        coinbase = Transaction(inputs=(), output_count=3)
+        chain.append_block(chain.make_block([coinbase], timestamp=1.0))
+        outputs = coinbase.make_outputs(owners=[kp.public for kp in owners])
+        chain.register_owned_outputs(outputs)
+
+        spender = owners[1]
+        members = tuple(sorted(o.token_id for o in outputs))
+        ring_keys = [chain.token(t).owner for t in members]
+        unsigned = Transaction(
+            inputs=(
+                RingInput(ring_tokens=members, key_image=spender.key_image()),
+            ),
+            output_count=1,
+        )
+        message = Blockchain._message_for(unsigned)
+        proof = sign(message, ring_keys, spender)
+        signed = Transaction(
+            inputs=(
+                RingInput(
+                    ring_tokens=members,
+                    key_image=spender.key_image(),
+                    proof=proof,
+                ),
+            ),
+            output_count=1,
+        )
+        chain.append_block(chain.make_block([signed], timestamp=2.0))
+        assert chain.height == 2
+
+        # A proof whose key image does not match the declared one fails.
+        outsider = keypair_from_seed("outsider")
+        bad = Transaction(
+            inputs=(
+                RingInput(
+                    ring_tokens=members,
+                    key_image=outsider.key_image(),
+                    proof=proof,
+                ),
+            ),
+            output_count=1,
+            nonce=9,
+        )
+        with pytest.raises(ValidationError):
+            chain.append_block(chain.make_block([bad], timestamp=3.0))
+
+    def test_missing_owner_key_rejected(self):
+        chain, coinbase = chain_with_coinbase(verify_signatures=True)
+        spender = keypair_from_seed("spender")
+        members = tuple(sorted(f"{coinbase.tx_id}:{i}" for i in range(2)))
+        ring_keys = [keypair_from_seed(f"x{i}").public for i in range(2)]
+        proof = sign(b"whatever", ring_keys, keypair_from_seed("x0"))
+        tx = Transaction(
+            inputs=(
+                RingInput(
+                    ring_tokens=members,
+                    key_image=spender.key_image(),
+                    proof=proof,
+                ),
+            ),
+            output_count=1,
+        )
+        with pytest.raises(ValidationError):
+            chain.append_block(chain.make_block([tx], timestamp=2.0))
+
+
+class TestPolicyVerifiers:
+    def test_policy_called_and_can_reject(self):
+        calls = []
+
+        def policy(chain, ring_input):
+            calls.append(ring_input)
+            raise ValidationError("rejected by policy")
+
+        chain = Blockchain(verify_signatures=False, policy_verifiers=[policy])
+        coinbase = Transaction(inputs=(), output_count=2)
+        chain.append_block(chain.make_block([coinbase], timestamp=1.0))
+        members = tuple(sorted(f"{coinbase.tx_id}:{i}" for i in range(2)))
+        spend = Transaction(inputs=(RingInput(ring_tokens=members),), output_count=1)
+        with pytest.raises(ValidationError, match="policy"):
+            chain.append_block(chain.make_block([spend], timestamp=2.0))
+        assert len(calls) == 1

@@ -1,0 +1,97 @@
+"""Unit tests for chain-reaction attacks (cascade and exact)."""
+
+from repro.analysis.chain_reaction import cascade_attack, exact_analysis
+from repro.core.ring import Ring
+
+
+def ring(rid, tokens, seq=0):
+    return Ring(rid=rid, tokens=frozenset(tokens), seq=seq)
+
+
+class TestCascade:
+    def test_classic_zero_mixin_cascade(self):
+        # r1 = {a} deanonymized; removing a shrinks r2 = {a, b} to {b},
+        # which in turn shrinks r3 = {b, c} to {c}.
+        rings = [ring("r1", {"a"}), ring("r2", {"a", "b"}), ring("r3", {"b", "c"})]
+        result = cascade_attack(rings)
+        assert result.deanonymized == {"r1": "a", "r2": "b", "r3": "c"}
+        assert result.deanonymization_rate == 1.0
+
+    def test_no_cascade_without_singleton(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"b", "c"})]
+        result = cascade_attack(rings)
+        assert result.deanonymized == {}
+        assert result.effective_ring_size("r1") == 2
+
+    def test_side_information_seeds_cascade(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"b", "c"})]
+        result = cascade_attack(rings, side_information={"r1": "b"})
+        assert result.deanonymized == {"r1": "b", "r2": "c"}
+
+    def test_eliminated_view(self):
+        rings = [ring("r1", {"a"}), ring("r2", {"a", "b"})]
+        result = cascade_attack(rings)
+        assert result.eliminated["r2"] == frozenset({"a"})
+
+    def test_cascade_weaker_than_exact(self):
+        # Two identical rings: cascade sees nothing (no singleton), but
+        # the pair is tight so a third overlapping ring is constrained.
+        rings = [
+            ring("r1", {"a", "b"}),
+            ring("r2", {"a", "b"}),
+            ring("r3", {"b", "c"}),
+        ]
+        weak = cascade_attack(rings)
+        strong = exact_analysis(rings)
+        assert weak.deanonymized == {}
+        assert strong.deanonymized["r3"] == "c"
+
+
+class TestExact:
+    def test_paper_example_1_second_solution(self):
+        rings = [
+            ring("r1", {"t1", "t2"}),
+            ring("r2", {"t1", "t2"}),
+            ring("r3", {"t2", "t3"}),
+        ]
+        result = exact_analysis(rings)
+        assert result.deanonymized["r3"] == "t3"
+        assert result.possible["r1"] == frozenset({"t1", "t2"})
+
+    def test_independent_rings_untouched(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"c", "d"})]
+        result = exact_analysis(rings)
+        assert result.deanonymized == {}
+        assert result.possible["r1"] == frozenset({"a", "b"})
+
+    def test_side_information_propagates(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"a", "b"})]
+        result = exact_analysis(rings, side_information={"r1": "a"})
+        assert result.deanonymized == {"r1": "a", "r2": "b"}
+
+    def test_contradictory_side_information_empties(self):
+        rings = [ring("r1", {"a"}), ring("r2", {"a"})]
+        result = exact_analysis(rings)
+        assert result.possible["r1"] == frozenset()
+
+    def test_rate_partial(self):
+        rings = [
+            ring("r1", {"a"}),
+            ring("r2", {"b", "c"}),
+        ]
+        result = exact_analysis(rings)
+        assert result.deanonymization_rate == 0.5
+
+    def test_exact_dominates_cascade(self):
+        import random
+
+        rng = random.Random(4)
+        tokens = [f"t{i}" for i in range(8)]
+        rings = []
+        for i in range(6):
+            size = rng.randint(1, 3)
+            rings.append(ring(f"r{i}", set(rng.sample(tokens, size)), seq=i))
+        weak = cascade_attack(rings)
+        strong = exact_analysis(rings)
+        for rid in weak.possible:
+            assert strong.possible[rid] <= weak.possible[rid]

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for name in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                     "fig9", "fig10", "sim"):
+            args = parser.parse_args(
+                [name] if name in ("fig3", "fig4", "sim") else [name, "--instances", "1"]
+            )
+            assert args.command == name
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs/tx" in out
+        assert "285 transactions" in out
+
+    def test_sweep_runs_small(self, capsys):
+        assert main(["fig7", "--instances", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TM_P" in out
+        assert "Mean ring size" in out
+
+    def test_sim_runs(self, capsys):
+        assert main(["sim", "--ticks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tick" in out
+        assert "final population" in out
+
+    def test_sim_algorithm_choice(self, capsys):
+        assert main(["sim", "--ticks", "1", "--algorithm", "smallest"]) == 0

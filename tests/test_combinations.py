@@ -1,0 +1,125 @@
+"""Unit tests for token-RS combinations (SDR enumeration + matching)."""
+
+import pytest
+
+from repro.core.combinations import (
+    count_combinations,
+    eliminated_tokens,
+    enumerate_combinations,
+    has_complete_assignment,
+    possible_consumed_tokens,
+)
+from repro.core.ring import Ring
+
+
+def ring(rid, tokens, seq=0):
+    return Ring(rid=rid, tokens=frozenset(tokens), seq=seq)
+
+
+class TestEnumeration:
+    def test_single_ring(self):
+        combos = list(enumerate_combinations([ring("r1", {"a", "b"})]))
+        assert sorted(c["r1"] for c in combos) == ["a", "b"]
+
+    def test_injectivity(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"a", "b"})]
+        combos = list(enumerate_combinations(rings))
+        assert len(combos) == 2
+        for combo in combos:
+            assert combo["r1"] != combo["r2"]
+
+    def test_all_rings_assigned(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"b", "c"}), ring("r3", {"c", "a"})]
+        for combo in enumerate_combinations(rings):
+            assert set(combo) == {"r1", "r2", "r3"}
+
+    def test_count_matches_permanent(self):
+        # Complete bipartite K3,3: permanent = 3! = 6.
+        tokens = {"a", "b", "c"}
+        rings = [ring(f"r{i}", tokens) for i in range(3)]
+        assert count_combinations(rings) == 6
+
+    def test_no_combination_when_overconstrained(self):
+        # Three rings over two tokens cannot all consume distinct tokens.
+        rings = [ring(f"r{i}", {"a", "b"}) for i in range(3)]
+        assert count_combinations(rings) == 0
+
+    def test_forced_pair_restricts(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"a", "b"})]
+        combos = list(enumerate_combinations(rings, forced={"r1": "a"}))
+        assert combos == [{"r1": "a", "r2": "b"}]
+
+    def test_forced_pair_outside_ring_yields_nothing(self):
+        assert count_combinations([ring("r1", {"a"})], forced={"r1": "z"}) == 0
+
+    def test_excluded_tokens_removed(self):
+        rings = [ring("r1", {"a", "b"})]
+        combos = list(enumerate_combinations(rings, excluded_tokens={"a"}))
+        assert combos == [{"r1": "b"}]
+
+    def test_limit_stops_early(self):
+        tokens = {f"t{i}" for i in range(6)}
+        rings = [ring(f"r{i}", tokens) for i in range(6)]
+        assert count_combinations(rings, limit=10) == 10
+
+    def test_empty_ring_set(self):
+        assert list(enumerate_combinations([])) == [{}]
+
+
+class TestMatching:
+    def test_feasible_simple(self):
+        assert has_complete_assignment([ring("r1", {"a"}), ring("r2", {"b"})])
+
+    def test_infeasible_hall_violation(self):
+        rings = [ring(f"r{i}", {"a", "b"}) for i in range(3)]
+        assert not has_complete_assignment(rings)
+
+    def test_matches_enumeration(self):
+        cases = [
+            [ring("r1", {"a", "b"}), ring("r2", {"b"}), ring("r3", {"a", "c"})],
+            [ring("r1", {"a"}), ring("r2", {"a"})],
+            [ring("r1", {"a", "b", "c"})],
+        ]
+        for rings in cases:
+            assert has_complete_assignment(rings) == (count_combinations(rings) > 0)
+
+    def test_forced_respected(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"b"})]
+        assert has_complete_assignment(rings, forced={"r1": "a"})
+        assert not has_complete_assignment(rings, forced={"r1": "b"})
+
+    def test_excluded_respected(self):
+        rings = [ring("r1", {"a", "b"})]
+        assert not has_complete_assignment(rings, excluded_tokens={"a", "b"})
+
+
+class TestPossibleTokens:
+    def test_paper_example_1_elimination(self):
+        # r1 = r2 = {t1, t2}; a new ring {t2, t3} can only consume t3.
+        r1 = ring("r1", {"t1", "t2"})
+        r2 = ring("r2", {"t1", "t2"})
+        r3 = ring("r3", {"t2", "t3"})
+        possible = possible_consumed_tokens(r3, [r1, r2, r3])
+        assert possible == frozenset({"t3"})
+        assert eliminated_tokens(r3, [r1, r2, r3]) == frozenset({"t2"})
+
+    def test_unconstrained_ring_keeps_all(self):
+        r1 = ring("r1", {"a", "b", "c"})
+        assert possible_consumed_tokens(r1, [r1]) == frozenset({"a", "b", "c"})
+
+    def test_target_must_be_member(self):
+        r1 = ring("r1", {"a"})
+        outsider = ring("r2", {"b"})
+        with pytest.raises(ValueError):
+            possible_consumed_tokens(outsider, [r1])
+
+    def test_agrees_with_enumeration(self):
+        r1 = ring("r1", {"a", "b"})
+        r2 = ring("r2", {"b", "c"})
+        r3 = ring("r3", {"a", "c"})
+        rings = [r1, r2, r3]
+        for target in rings:
+            from_worlds = {
+                combo[target.rid] for combo in enumerate_combinations(rings)
+            }
+            assert possible_consumed_tokens(target, rings) == frozenset(from_worlds)

@@ -1,0 +1,72 @@
+"""Unit tests for Pedersen commitments."""
+
+import pytest
+
+from repro.crypto.commitment import (
+    H,
+    add_commitments,
+    commit,
+    commitments_balance,
+)
+from repro.crypto.ed25519 import G, L
+
+
+class TestCommit:
+    def test_deterministic_given_blinding(self):
+        a, _ = commit(5, blinding=99)
+        b, _ = commit(5, blinding=99)
+        assert a.point == b.point
+
+    def test_hiding_with_fresh_blinding(self):
+        a, _ = commit(5)
+        b, _ = commit(5)
+        assert a.point != b.point
+
+    def test_binding_to_amount(self):
+        a, _ = commit(5, blinding=1)
+        b, _ = commit(6, blinding=1)
+        assert a.point != b.point
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            commit(-1)
+
+    def test_h_differs_from_g(self):
+        assert H != G
+
+
+class TestHomomorphism:
+    def test_sum_of_commitments(self):
+        a, ba = commit(3, blinding=10)
+        b, bb = commit(4, blinding=20)
+        combined, _ = commit(7, blinding=30)
+        assert (a + b).point == combined.point
+        assert (ba + bb) % L == 30
+
+    def test_add_commitments_helper(self):
+        a, _ = commit(1, blinding=5)
+        b, _ = commit(2, blinding=6)
+        assert add_commitments([a, b]).point == (a + b).point
+
+    def test_add_commitments_empty_rejected(self):
+        with pytest.raises(ValueError):
+            add_commitments([])
+
+
+class TestBalance:
+    def test_balanced_transaction_accepted(self):
+        in1, b1 = commit(5)
+        in2, b2 = commit(7)
+        out, b3 = commit(12)
+        assert commitments_balance([in1, in2], [out], (b1 + b2 - b3) % L)
+
+    def test_inflated_transaction_rejected(self):
+        in1, b1 = commit(5)
+        out, b2 = commit(6)
+        assert not commitments_balance([in1], [out], (b1 - b2) % L)
+
+    def test_split_outputs_balance(self):
+        incoming, b0 = commit(10)
+        out_a, b1 = commit(4)
+        out_b, b2 = commit(6)
+        assert commitments_balance([incoming], [out_a, out_b], (b0 - b1 - b2) % L)

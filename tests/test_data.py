@@ -1,0 +1,137 @@
+"""Unit tests for the Monero-shaped and synthetic data generators."""
+
+import statistics
+
+import pytest
+
+from repro.data.monero import (
+    FRESH_TOKEN_COUNT,
+    SUPER_RS_COUNT,
+    SUPER_RS_SIZE,
+    TOKEN_COUNT,
+    TX_COUNT,
+    generate_monero_hour,
+)
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.data.workload import sample_instances
+
+
+class TestMoneroHour:
+    def setup_method(self):
+        self.hour = generate_monero_hour(seed=0)
+
+    def test_exact_paper_aggregates(self):
+        assert len(self.hour.universe) == TOKEN_COUNT
+        assert len(self.hour.outputs_per_tx) == TX_COUNT
+        assert sum(self.hour.outputs_per_tx.values()) == TOKEN_COUNT
+        assert len(self.hour.rings) == SUPER_RS_COUNT
+        assert len(self.hour.fresh_tokens) == FRESH_TOKEN_COUNT
+
+    def test_ring_sizes_are_monero_standard(self):
+        assert all(len(r) == SUPER_RS_SIZE for r in self.hour.rings)
+
+    def test_rings_are_disjoint(self):
+        seen = set()
+        for ring in self.hour.rings:
+            assert seen.isdisjoint(ring.tokens)
+            seen |= ring.tokens
+
+    def test_fresh_tokens_outside_rings(self):
+        in_rings = set()
+        for ring in self.hour.rings:
+            in_rings |= ring.tokens
+        assert not (set(self.hour.fresh_tokens) & in_rings)
+
+    def test_two_output_transactions_dominate(self):
+        # Figure 3: the mode of the distribution is 2 outputs.
+        from collections import Counter
+
+        counts = Counter(self.hour.outputs_per_tx.values())
+        assert counts.most_common(1)[0][0] == 2
+
+    def test_deterministic_per_seed(self):
+        again = generate_monero_hour(seed=0)
+        assert again.universe.tokens == self.hour.universe.tokens
+        assert [r.tokens for r in again.rings] == [r.tokens for r in self.hour.rings]
+
+    def test_seeds_vary_arrangement(self):
+        other = generate_monero_hour(seed=1)
+        assert [r.tokens for r in other.rings] != [
+            r.tokens for r in self.hour.rings
+        ]
+
+    def test_module_universe_composition(self):
+        modules = self.hour.module_universe()
+        supers = [m for m in modules.modules if m.is_super]
+        fresh = [m for m in modules.modules if not m.is_super]
+        assert len(supers) == SUPER_RS_COUNT
+        assert len(fresh) == FRESH_TOKEN_COUNT
+
+
+class TestSynthetic:
+    def test_default_config_counts(self):
+        data = generate_synthetic()
+        assert len(data.rings) == 50
+        assert len(data.fresh_tokens) == 10
+        assert all(10 <= len(r) <= 20 for r in data.rings)
+
+    def test_config_respected(self):
+        config = SyntheticConfig(
+            super_count=7, super_size_range=(2, 4), fresh_count=3, sigma=5.0, seed=9
+        )
+        data = generate_synthetic(config)
+        assert len(data.rings) == 7
+        assert len(data.fresh_tokens) == 3
+        assert all(2 <= len(r) <= 4 for r in data.rings)
+
+    def test_sigma_controls_ht_spread(self):
+        narrow = generate_synthetic(SyntheticConfig(sigma=2.0, seed=1))
+        wide = generate_synthetic(SyntheticConfig(sigma=16.0, seed=1))
+        assert len(narrow.universe.hts) < len(wide.universe.hts)
+
+    def test_rings_disjoint(self):
+        data = generate_synthetic()
+        seen = set()
+        for ring in data.rings:
+            assert seen.isdisjoint(ring.tokens)
+            seen |= ring.tokens
+
+    def test_deterministic_per_seed(self):
+        a = generate_synthetic(SyntheticConfig(seed=3))
+        b = generate_synthetic(SyntheticConfig(seed=3))
+        assert a.universe.tokens == b.universe.tokens
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(super_size_range=(5, 2))
+        with pytest.raises(ValueError):
+            SyntheticConfig(sigma=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(super_count=-1)
+
+
+class TestWorkload:
+    def test_sample_count_and_membership(self):
+        data = generate_synthetic(SyntheticConfig(super_count=5, fresh_count=2))
+        modules = data.module_universe()
+        instances = list(sample_instances(modules, c=0.6, ell=3, count=20, seed=0))
+        assert len(instances) == 20
+        for instance in instances:
+            assert instance.target_token in modules.universe
+            assert instance.c == 0.6
+            assert instance.ell == 3
+
+    def test_reproducible(self):
+        data = generate_synthetic(SyntheticConfig(super_count=5))
+        modules = data.module_universe()
+        a = [i.target_token for i in sample_instances(modules, 1, 2, 10, seed=4)]
+        b = [i.target_token for i in sample_instances(modules, 1, 2, 10, seed=4)]
+        assert a == b
+
+    def test_empty_universe_rejected(self):
+        from repro.core.modules import ModuleUniverse
+        from repro.core.ring import TokenUniverse
+
+        modules = ModuleUniverse(TokenUniverse(), [])
+        with pytest.raises(ValueError):
+            list(sample_instances(modules, 1, 1, 1))

@@ -1,0 +1,117 @@
+"""Unit tests for DTRS enumeration (Definition 2 / Algorithm 3)."""
+
+import pytest
+
+from repro.core.dtrs import Dtrs, get_dtrss, ring_is_recursive_diverse_exact
+from repro.core.ring import Ring, TokenUniverse
+
+
+def ring(rid, tokens, seq=0, c=1.0, ell=1):
+    return Ring(rid=rid, tokens=frozenset(tokens), c=c, ell=ell, seq=seq)
+
+
+class TestPaperExample2:
+    """Example 2: five rings; t5, t6 share HT h1."""
+
+    def setup_method(self):
+        self.universe = TokenUniverse(
+            {"t1": "ha", "t2": "hb", "t3": "hc", "t4": "hd", "t5": "h1", "t6": "h1"}
+        )
+        self.r1 = ring("r1", {"t1", "t2", "t5"}, seq=0)
+        self.r2 = ring("r2", {"t1", "t3"}, seq=1)
+        self.r3 = ring("r3", {"t1", "t3"}, seq=2)
+        self.r4 = ring("r4", {"t2", "t4"}, seq=3)
+        self.r5 = ring("r5", {"t4", "t5", "t6"}, seq=4)
+        self.rings = [self.r1, self.r2, self.r3, self.r4, self.r5]
+
+    def test_t2_r1_is_dtrs_of_r5(self):
+        # The paper: {<t2, r1>} is a DTRS of r5 — knowing r1 consumed t2
+        # forces r4 -> t4, so r5 consumes t5 or t6, both from h1.
+        dtrss = get_dtrss(self.r5, self.rings, self.universe)
+        pair_sets = {d.pairs for d in dtrss}
+        assert frozenset({("t2", "r1")}) in pair_sets
+        match = next(d for d in dtrss if d.pairs == frozenset({("t2", "r1")}))
+        assert match.determined_ht == "h1"
+
+    def test_r4_has_three_single_pair_dtrss(self):
+        # The paper lists {<t4,r5>}, {<t5,r5>} and {<t2,r1>}... wait,
+        # the last determines r4 -> t4 too; d1/d2 pin r4 via r5's token.
+        dtrss = get_dtrss(self.r4, self.rings, self.universe)
+        singletons = {d.pairs for d in dtrss if len(d.pairs) == 1}
+        assert frozenset({("t4", "r5")}) in singletons
+        assert frozenset({("t5", "r5")}) in singletons
+
+    def test_minimality_no_dtrs_contains_another(self):
+        for target in self.rings:
+            dtrss = get_dtrss(target, self.rings, self.universe)
+            for a in dtrss:
+                for b in dtrss:
+                    if a is not b:
+                        assert not (a.pairs < b.pairs)
+
+
+class TestDtrsSemantics:
+    def test_no_dtrs_for_isolated_diverse_ring(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        r = ring("r", {"a", "b"})
+        assert get_dtrss(r, [r], universe) == []
+
+    def test_empty_dtrs_when_ht_already_determined(self):
+        # All tokens share one HT: the empty pair set already determines it.
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        r = ring("r", {"a", "b"})
+        dtrss = get_dtrss(r, [r], universe)
+        assert len(dtrss) == 1
+        assert dtrss[0].pairs == frozenset()
+        assert dtrss[0].determined_ht == "h1"
+
+    def test_target_must_be_in_ring_set(self):
+        universe = TokenUniverse({"a": "h1"})
+        with pytest.raises(ValueError):
+            get_dtrss(ring("r", {"a"}), [], universe)
+
+    def test_pairs_never_include_target(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3"})
+        r1 = ring("r1", {"a", "b"})
+        r2 = ring("r2", {"b", "c"})
+        for dtrs in get_dtrss(r1, [r1, r2], universe):
+            assert all(rid != "r1" for _, rid in dtrs.pairs)
+
+    def test_token_property(self):
+        d = Dtrs(pairs=frozenset({("t1", "r1"), ("t2", "r2")}), determined_ht="h")
+        assert d.tokens == frozenset({"t1", "t2"})
+        assert len(d) == 2
+
+    def test_max_size_caps_enumeration(self):
+        universe = TokenUniverse({c: f"h{c}" for c in "abcdef"})
+        rings = [
+            ring("r1", {"a", "b"}),
+            ring("r2", {"b", "c"}),
+            ring("r3", {"c", "d"}),
+        ]
+        capped = get_dtrss(rings[0], rings, universe, max_size=1)
+        assert all(len(d) <= 1 for d in capped)
+
+
+class TestRecursiveDiverseExact:
+    def test_paper_section_2_5_example(self):
+        # r1={t1,t2}, r2={t2,t3}, r3={t1,t3,t4}; t1,t3 from h1, t4 from h2.
+        universe = TokenUniverse({"t1": "h1", "t2": "h3", "t3": "h1", "t4": "h2"})
+        r1 = ring("r1", {"t1", "t2"}, seq=0)
+        r2 = ring("r2", {"t2", "t3"}, seq=1)
+        r3 = ring("r3", {"t1", "t3", "t4"}, seq=2)
+        rings = [r1, r2, r3]
+        # (2,1): both conditions hold (2 < 2*(2+1) and 2 < 2*2).
+        assert ring_is_recursive_diverse_exact(r3, rings, universe, c=2, ell=1)
+        # (3,2): first condition holds (2 < 3*1) but the DTRS fails (2 >= 3*0).
+        assert not ring_is_recursive_diverse_exact(r3, rings, universe, c=3, ell=2)
+
+    def test_uses_ring_claim_by_default(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        r = ring("r", {"a", "b"}, c=2.0, ell=2)
+        assert ring_is_recursive_diverse_exact(r, [r], universe)
+
+    def test_fails_own_ht_condition(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        r = ring("r", {"a", "b"}, c=5.0, ell=2)
+        assert not ring_is_recursive_diverse_exact(r, [r], universe)

@@ -1,0 +1,146 @@
+"""Unit tests for the Ed25519 group arithmetic."""
+
+import pytest
+
+from repro.crypto.ed25519 import (
+    D,
+    G,
+    IDENTITY,
+    L,
+    P,
+    DecodingError,
+    Point,
+    compress,
+    decompress,
+    is_on_curve,
+    multi_scalar_mult,
+    point_add,
+    point_double,
+    scalar_mult,
+)
+
+
+class TestCurveConstants:
+    def test_field_prime(self):
+        assert P == 2**255 - 19
+
+    def test_group_order_is_odd_prime_like(self):
+        assert L % 2 == 1
+        assert L > 2**251
+
+    def test_d_satisfies_definition(self):
+        assert (D * 121666 + 121665) % P == 0
+
+    def test_base_point_on_curve(self):
+        assert is_on_curve(G)
+
+    def test_base_point_y_is_4_over_5(self):
+        assert G.y * 5 % P == 4
+
+    def test_identity_on_curve(self):
+        assert is_on_curve(IDENTITY)
+
+
+class TestGroupLaws:
+    def test_identity_is_neutral(self):
+        assert point_add(G, IDENTITY) == G
+        assert point_add(IDENTITY, G) == G
+
+    def test_addition_commutes(self):
+        two_g = point_double(G)
+        assert point_add(G, two_g) == point_add(two_g, G)
+
+    def test_addition_associates(self):
+        a = scalar_mult(2, G)
+        b = scalar_mult(3, G)
+        c = scalar_mult(5, G)
+        assert point_add(point_add(a, b), c) == point_add(a, point_add(b, c))
+
+    def test_double_equals_add_self(self):
+        assert point_double(G) == point_add(G, G)
+
+    def test_scalar_mult_matches_repeated_addition(self):
+        accumulated = IDENTITY
+        for k in range(1, 8):
+            accumulated = point_add(accumulated, G)
+            assert scalar_mult(k, G) == accumulated
+
+    def test_order_annihilates_base_point(self):
+        assert scalar_mult(L, G) == IDENTITY
+
+    def test_scalar_zero_gives_identity(self):
+        assert scalar_mult(0, G) == IDENTITY
+
+    def test_scalar_reduction_mod_order(self):
+        assert scalar_mult(L + 5, G) == scalar_mult(5, G)
+
+    def test_negative_inverse(self):
+        minus_one = scalar_mult(L - 1, G)
+        assert point_add(G, minus_one) == IDENTITY
+
+    def test_distributivity(self):
+        assert scalar_mult(7, G) == point_add(scalar_mult(3, G), scalar_mult(4, G))
+
+    def test_results_stay_on_curve(self):
+        point = scalar_mult(123456789, G)
+        assert is_on_curve(point)
+
+    def test_operator_overloads(self):
+        assert G + G == point_double(G)
+        assert 3 * G == scalar_mult(3, G)
+        assert G * 3 == scalar_mult(3, G)
+
+
+class TestMultiScalarMult:
+    def test_empty_sum_is_identity(self):
+        assert multi_scalar_mult([]) == IDENTITY
+
+    def test_single_term(self):
+        assert multi_scalar_mult([(9, G)]) == scalar_mult(9, G)
+
+    def test_linear_combination(self):
+        p = scalar_mult(11, G)
+        expected = point_add(scalar_mult(3, G), scalar_mult(5, p))
+        assert multi_scalar_mult([(3, G), (5, p)]) == expected
+
+
+class TestEncoding:
+    def test_round_trip_base_point(self):
+        assert decompress(compress(G)) == G
+
+    def test_round_trip_random_points(self):
+        for k in (2, 3, 99, 2**200 + 17):
+            point = scalar_mult(k, G)
+            assert decompress(compress(point)) == point
+
+    def test_encoding_is_32_bytes(self):
+        assert len(compress(G)) == 32
+
+    def test_identity_round_trip(self):
+        assert decompress(compress(IDENTITY)) == IDENTITY
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DecodingError):
+            decompress(b"\x00" * 31)
+
+    def test_non_curve_bytes_rejected(self):
+        # y = 2 is not on the curve: (y^2-1)/(dy^2+1) has no square root.
+        bad = (2).to_bytes(32, "little")
+        with pytest.raises(DecodingError):
+            decompress(bad)
+
+    def test_y_out_of_range_rejected(self):
+        bad = (P + 1).to_bytes(32, "little")
+        with pytest.raises(DecodingError):
+            decompress(bad)
+
+    def test_points_hashable(self):
+        assert len({G, point_double(G), G}) == 2
+
+
+class TestPointValidation:
+    def test_off_curve_point_detected(self):
+        assert not is_on_curve(Point(1, 1))
+
+    def test_encode_method(self):
+        assert G.encode() == compress(G)

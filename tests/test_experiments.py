@@ -1,0 +1,112 @@
+"""Tests for the experiment harness and per-figure drivers."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    fig3_output_distribution,
+    fig4_bfs_scaling,
+    fig5_vary_c,
+    fig7_vary_sigma,
+)
+from repro.experiments.harness import (
+    DEFAULT_APPROACHES,
+    ApproachResult,
+    format_table,
+    run_sweep,
+)
+from repro.experiments.tables import settings_banner
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+
+
+class TestFig3:
+    def test_distribution_totals(self):
+        dist = fig3_output_distribution(seed=0)
+        assert sum(dist.values()) == 285
+        assert sum(count * n for n, count in dist.items()) == 633
+
+    def test_two_output_mode(self):
+        dist = fig3_output_distribution(seed=0)
+        assert dist.most_common(1)[0][0] == 2
+
+
+class TestFig4:
+    def test_sequential_generation_runs(self):
+        measurements = fig4_bfs_scaling(
+            token_count=8, ht_count=4, c=2.0, ell=2, max_rings=3, time_budget=5.0
+        )
+        assert measurements
+        assert all(m.ring_index == i + 1 for i, m in enumerate(measurements))
+        assert all(m.elapsed >= 0 for m in measurements)
+
+    def test_budget_cuts_off(self):
+        measurements = fig4_bfs_scaling(
+            token_count=20, ht_count=10, c=5.0, ell=3, max_rings=8, time_budget=0.3
+        )
+        # Either all rings completed fast or the last record flags the cut.
+        if measurements and measurements[-1].budget_exceeded:
+            assert measurements[-1].ring_size == 0
+
+
+class TestSweeps:
+    def test_fig5_shape(self):
+        sweep = fig5_vary_c(instances_per_point=4, seed=0)
+        assert sweep.points == [0.2, 0.4, 0.6, 0.8, 1.0]
+        for point in sweep.points:
+            approaches = {r.approach for r in sweep.results[point]}
+            assert approaches == set(DEFAULT_APPROACHES)
+
+    def test_fig5_sizes_decrease_with_c(self):
+        sweep = fig5_vary_c(instances_per_point=8, seed=1)
+        sizes = sweep.series("progressive", "mean_size")
+        assert sizes[0] >= sizes[-1]
+
+    def test_fig7_sizes_decrease_with_sigma(self):
+        sweep = fig7_vary_sigma(instances_per_point=8, seed=1)
+        sizes = sweep.series("progressive", "mean_size")
+        assert sizes[0] >= sizes[-1]
+
+    def test_series_extraction(self):
+        sweep = fig5_vary_c(instances_per_point=2, seed=0)
+        series = sweep.series("game", "mean_time")
+        assert len(series) == len(sweep.points)
+        assert all(t >= 0 or math.isnan(t) for t in series)
+
+
+class TestHarnessPlumbing:
+    def test_run_sweep_custom(self):
+        def make_modules(_value):
+            return generate_synthetic(
+                SyntheticConfig(super_count=8, fresh_count=2, seed=0)
+            ).module_universe()
+
+        sweep = run_sweep(
+            parameter="x",
+            values=[1, 2],
+            make_modules=make_modules,
+            c_of=lambda _v: 1.0,
+            ell_of=lambda _v: 3,
+            instances_per_point=3,
+            approaches=("smallest",),
+        )
+        assert sweep.points == [1, 2]
+        result = sweep.results[1][0]
+        assert result.approach == "smallest"
+        assert result.instances + result.failures == 3
+
+    def test_format_table_contains_labels(self):
+        sweep = fig5_vary_c(instances_per_point=2, seed=0)
+        table = format_table(sweep, "mean_size")
+        for label in ("TM_S", "TM_R", "TM_P", "TM_G"):
+            assert label in table
+
+    def test_approach_labels(self):
+        assert ApproachResult("progressive", 0, 0, 0, 0).label == "TM_P"
+        assert ApproachResult("bfs", 0, 0, 0, 0).label == "TM_B"
+        assert ApproachResult("custom", 0, 0, 0, 0).label == "custom"
+
+    def test_settings_banner(self):
+        banner = settings_banner("Fig 5", c="0.2..1")
+        assert "Fig 5" in banner
+        assert "c=0.2..1" in banner

@@ -1,0 +1,204 @@
+"""Tests for the TokenMagic framework facade (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.errors import ConfigurationViolation
+from repro.chain.transaction import RingInput, Transaction
+from repro.core.diversity import ht_counts_satisfy
+from repro.core.problem import InfeasibleError
+from repro.tokenmagic.framework import TokenMagic, TokenMagicConfig
+
+
+def funded_chain(block_output_counts=(4, 4, 4)):
+    chain = Blockchain(verify_signatures=False)
+    for index, count in enumerate(block_output_counts):
+        tx = Transaction(inputs=(), output_count=count, nonce=index)
+        chain.append_block(chain.make_block([tx], timestamp=float(index)))
+    return chain
+
+
+class TestGenerateRing:
+    def test_direct_mode_generates_valid_ring(self):
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        token = sorted(chain.universe.tokens)[0]
+        result = magic.generate_ring(token, c=2.0, ell=2)
+        assert token in result.tokens
+        counts = chain.universe.ht_counts(result.tokens)
+        # Second configuration: ring targets (c, l+1).
+        assert ht_counts_satisfy(counts, 2.0, 3)
+
+    def test_second_config_can_be_disabled(self):
+        chain = funded_chain()
+        magic = TokenMagic(
+            chain,
+            TokenMagicConfig(batch_lambda=12, apply_second_config=False),
+        )
+        token = sorted(chain.universe.tokens)[0]
+        result = magic.generate_ring(token, c=2.0, ell=2)
+        counts = chain.universe.ht_counts(result.tokens)
+        assert ht_counts_satisfy(counts, 2.0, 2)
+
+    def test_ring_stays_inside_batch(self):
+        chain = funded_chain((4, 4, 4, 4))
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=8))
+        batches = magic.batches()
+        assert len(batches) == 2
+        token = sorted(batches[1].universe.tokens)[0]
+        # Each batch spans 2 blocks = 2 HTs, so ask for l = 1 (the
+        # second configuration lifts it to 2).
+        result = magic.generate_ring(token, c=2.0, ell=1)
+        assert result.tokens <= batches[1].universe.tokens
+
+    def test_candidate_mode_randomizes(self):
+        chain = funded_chain()
+        magic = TokenMagic(
+            chain, TokenMagicConfig(batch_lambda=12, candidate_mode=True)
+        )
+        token = sorted(chain.universe.tokens)[0]
+        result = magic.generate_ring(token, c=2.0, ell=2, rng=random.Random(3))
+        assert token in result.tokens
+        assert result.target_token == token
+
+    def test_selector_can_be_swapped(self):
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        token = sorted(chain.universe.tokens)[0]
+        result = magic.generate_ring(token, c=2.0, ell=2, algorithm="smallest")
+        assert result.algorithm == "smallest"
+
+    def test_infeasible_requirement_raises(self):
+        chain = funded_chain((4,))  # one HT only
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=4))
+        token = sorted(chain.universe.tokens)[0]
+        with pytest.raises(InfeasibleError):
+            magic.generate_ring(token, c=2.0, ell=3)
+
+
+class TestCommitRing:
+    def test_commit_registers_in_batch(self):
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        token = sorted(chain.universe.tokens)[0]
+        result = magic.generate_ring(token, c=2.0, ell=2)
+        ring = magic.commit_ring(result, c=2.0, ell=2)
+        batch = magic.batches()[0]
+        registry = magic.registry_for(batch)
+        assert ring in registry.rings
+
+    def test_committed_rings_shape_later_selections(self):
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        tokens = sorted(chain.universe.tokens)
+        first = magic.generate_ring(tokens[0], c=2.0, ell=2)
+        magic.commit_ring(first, c=2.0, ell=2)
+        second = magic.generate_ring(tokens[1], c=2.0, ell=2)
+        # Configuration 1: the new ring is a superset of or disjoint
+        # from the committed one.
+        assert (
+            first.tokens <= second.tokens
+            or first.tokens.isdisjoint(second.tokens)
+        )
+
+
+class TestPolicyVerifier:
+    def test_cross_batch_ring_rejected(self):
+        chain = funded_chain((4, 4, 4, 4))
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=8))
+        verifier = magic.policy_verifier()
+        batches = magic.batches()
+        mixed = tuple(
+            sorted(
+                [sorted(batches[0].universe.tokens)[0]]
+                + [sorted(batches[1].universe.tokens)[0]]
+            )
+        )
+        with pytest.raises(ConfigurationViolation):
+            verifier(chain, RingInput(ring_tokens=mixed))
+
+    def test_partial_overlap_rejected(self):
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        tokens = sorted(chain.universe.tokens)
+        # Put an existing ring on chain.
+        existing = Transaction(
+            inputs=(RingInput(ring_tokens=tuple(sorted(tokens[:3]))),),
+            output_count=1,
+        )
+        chain.append_block(chain.make_block([existing], timestamp=10.0))
+        verifier = magic.policy_verifier()
+        overlap = tuple(sorted([tokens[2], tokens[4]]))
+        with pytest.raises(ConfigurationViolation):
+            verifier(chain, RingInput(ring_tokens=overlap))
+
+    def test_superset_accepted(self):
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        tokens = sorted(chain.universe.tokens)
+        existing = Transaction(
+            inputs=(RingInput(ring_tokens=tuple(sorted(tokens[:3]))),),
+            output_count=1,
+        )
+        chain.append_block(chain.make_block([existing], timestamp=10.0))
+        verifier = magic.policy_verifier(check_diversity_claim=False)
+        superset = tuple(sorted(tokens[:5]))
+        verifier(chain, RingInput(ring_tokens=superset))  # must not raise
+
+    def test_disjoint_accepted(self):
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        tokens = sorted(chain.universe.tokens)
+        existing = Transaction(
+            inputs=(RingInput(ring_tokens=tuple(sorted(tokens[:3]))),),
+            output_count=1,
+        )
+        chain.append_block(chain.make_block([existing], timestamp=10.0))
+        verifier = magic.policy_verifier(check_diversity_claim=False)
+        disjoint = tuple(sorted(tokens[4:6]))
+        verifier(chain, RingInput(ring_tokens=disjoint))  # must not raise
+
+    def test_diversity_claim_enforced(self):
+        # A ring claiming (2.0, 2) whose tokens come from one HT is
+        # rejected by the claim check and accepted without it.
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        origin = chain.blocks[0].transactions[0].tx_id
+        same_ht = tuple(sorted(f"{origin}:{i}" for i in range(3)))
+        ring = RingInput(ring_tokens=same_ht, claimed_c=2.0, claimed_ell=2)
+        lax = magic.policy_verifier(check_diversity_claim=False)
+        lax(chain, ring)  # locality/config-1 alone passes
+        strict = magic.policy_verifier(check_diversity_claim=True)
+        with pytest.raises(ConfigurationViolation, match="diversity"):
+            strict(chain, ring)
+
+    def test_honest_framework_ring_passes_claim_check(self):
+        chain = funded_chain()
+        magic = TokenMagic(chain, TokenMagicConfig(batch_lambda=12))
+        token = sorted(chain.universe.tokens)[0]
+        result = magic.generate_ring(token, c=2.0, ell=2)
+        ring = RingInput(
+            ring_tokens=tuple(sorted(result.tokens)),
+            claimed_c=2.0,
+            claimed_ell=2,
+        )
+        verifier = magic.policy_verifier()
+        verifier(chain, ring)  # must not raise
+
+    def test_eta_reserve_enforced_by_verifier(self):
+        chain = funded_chain((4,))
+        magic = TokenMagic(
+            chain, TokenMagicConfig(batch_lambda=4, eta=1.0)
+        )
+        tokens = sorted(chain.universe.tokens)
+        first = Transaction(
+            inputs=(RingInput(ring_tokens=tuple(sorted(tokens[:2]))),),
+            output_count=1,
+        )
+        chain.append_block(chain.make_block([first], timestamp=10.0))
+        verifier = magic.policy_verifier(check_diversity_claim=False)
+        duplicate = RingInput(ring_tokens=tuple(sorted(tokens[:2])))
+        with pytest.raises(ConfigurationViolation, match="reserve"):
+            verifier(chain, duplicate)

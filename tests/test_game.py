@@ -1,0 +1,95 @@
+"""Unit tests for the Game-theoretic Algorithm (Algorithm 5)."""
+
+import pytest
+
+from repro.core.diversity import ht_counts_satisfy
+from repro.core.game import game_select
+from repro.core.modules import ModuleUniverse
+from repro.core.problem import InfeasibleError
+from repro.core.ring import TokenUniverse
+
+from helpers import example3_modules
+
+
+class TestPaperExample3:
+    def test_equilibrium_matches_paper(self):
+        # Paper: TM_G converges to r_tau = s1 ∪ s3, size 8.
+        result = game_select(example3_modules(), "t11", c=1.0, ell=4)
+        assert set(result.modules) == {"s:s3", "s:s1"}
+        assert result.size == 8
+
+    def test_beats_progressive_on_example3(self):
+        from repro.core.progressive import progressive_select
+
+        modules = example3_modules()
+        game = game_select(modules, "t11", c=1.0, ell=4)
+        progressive = progressive_select(modules, "t11", c=1.0, ell=4)
+        assert game.size <= progressive.size
+
+
+class TestEquilibriumProperties:
+    def test_result_satisfies_requirement(self):
+        modules = example3_modules()
+        result = game_select(modules, "t11", c=1.0, ell=4)
+        counts = modules.universe.ht_counts(result.tokens)
+        assert ht_counts_satisfy(counts, 1.0, 4)
+
+    def test_one_removal_minimality(self):
+        # At a Nash equilibrium no single selected module (other than
+        # the anchor) can leave while preserving feasibility.
+        modules = example3_modules()
+        result = game_select(modules, "t11", c=1.0, ell=4)
+        anchor_mid = modules.module_of("t11").mid
+        chosen = [mid for mid in result.modules if mid != anchor_mid]
+        for dropped in chosen:
+            tokens = set()
+            for mid in result.modules:
+                if mid == dropped:
+                    continue
+                module = next(m for m in modules.modules if m.mid == mid)
+                tokens |= module.tokens
+            counts = modules.universe.ht_counts(tokens)
+            assert not ht_counts_satisfy(counts, 1.0, 4)
+
+    def test_anchor_always_included(self):
+        modules = example3_modules()
+        result = game_select(modules, "t7", c=1.0, ell=4)
+        assert "t7" in result.tokens
+
+    def test_deterministic(self):
+        modules = example3_modules()
+        assert (
+            game_select(modules, "t11", c=1.0, ell=4).tokens
+            == game_select(modules, "t11", c=1.0, ell=4).tokens
+        )
+
+    def test_algorithm_label(self):
+        result = game_select(example3_modules(), "t11", c=1.0, ell=4)
+        assert result.algorithm == "game"
+
+
+class TestInfeasibility:
+    def test_full_universe_infeasible_detected_fast(self):
+        universe = TokenUniverse({f"t{i}": "h1" for i in range(5)})
+        modules = ModuleUniverse(universe, [])
+        with pytest.raises(InfeasibleError):
+            game_select(modules, "t0", c=1.0, ell=2)
+
+    def test_error_message_mentions_requirement(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        modules = ModuleUniverse(universe, [])
+        with pytest.raises(InfeasibleError, match="diversity"):
+            game_select(modules, "a", c=1.0, ell=3)
+
+
+class TestFreshTokenPlay:
+    def test_fresh_tokens_usable_as_players(self):
+        universe = TokenUniverse(
+            {"a": "h1", "b": "h2", "c": "h3", "d": "h4", "e": "h5"}
+        )
+        modules = ModuleUniverse(universe, [])
+        result = game_select(modules, "a", c=1.0, ell=2)
+        counts = universe.ht_counts(result.tokens)
+        assert ht_counts_satisfy(counts, 1.0, 2)
+        # With all-singleton modules the equilibrium is tight.
+        assert result.size <= 3

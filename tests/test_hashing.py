@@ -1,0 +1,62 @@
+"""Unit tests for domain-separated hashing."""
+
+from repro.crypto.ed25519 import IDENTITY, L, is_on_curve, scalar_mult
+from repro.crypto.hashing import digest_hex, hash_to_point, hash_to_scalar, sha512
+
+
+class TestSha512:
+    def test_deterministic(self):
+        assert sha512("d", b"x") == sha512("d", b"x")
+
+    def test_domain_separation(self):
+        assert sha512("a", b"x") != sha512("b", b"x")
+
+    def test_chunk_framing_prevents_concatenation_collisions(self):
+        assert sha512("d", b"ab", b"c") != sha512("d", b"a", b"bc")
+
+    def test_output_length(self):
+        assert len(sha512("d", b"")) == 64
+
+
+class TestHashToScalar:
+    def test_in_range(self):
+        scalar = hash_to_scalar("d", b"payload")
+        assert 0 < scalar < L
+
+    def test_deterministic(self):
+        assert hash_to_scalar("d", b"p") == hash_to_scalar("d", b"p")
+
+    def test_different_inputs_differ(self):
+        assert hash_to_scalar("d", b"p") != hash_to_scalar("d", b"q")
+
+    def test_domain_separation(self):
+        assert hash_to_scalar("d1", b"p") != hash_to_scalar("d2", b"p")
+
+
+class TestHashToPoint:
+    def test_on_curve(self):
+        point = hash_to_point("d", b"payload")
+        assert is_on_curve(point)
+
+    def test_in_prime_subgroup(self):
+        point = hash_to_point("d", b"payload")
+        assert scalar_mult(L, point) == IDENTITY
+
+    def test_not_identity(self):
+        assert hash_to_point("d", b"payload") != IDENTITY
+
+    def test_deterministic(self):
+        assert hash_to_point("d", b"p") == hash_to_point("d", b"p")
+
+    def test_different_inputs_differ(self):
+        assert hash_to_point("d", b"p") != hash_to_point("d", b"q")
+
+
+class TestDigestHex:
+    def test_hex_format(self):
+        digest = digest_hex("d", b"p")
+        assert len(digest) == 64
+        int(digest, 16)  # must parse as hex
+
+    def test_deterministic(self):
+        assert digest_hex("d", b"p") == digest_hex("d", b"p")

@@ -1,0 +1,68 @@
+"""Unit tests for the homogeneity attack."""
+
+from repro.analysis.homogeneity import homogeneity_attack, ht_distribution
+from repro.core.ring import Ring, TokenUniverse
+
+
+def ring(rid, tokens, seq=0):
+    return Ring(rid=rid, tokens=frozenset(tokens), seq=seq)
+
+
+class TestHomogeneityAttack:
+    def test_paper_example_1_first_solution(self):
+        # r3 = {t1, t3} with both tokens from h1: the HT leaks even
+        # though the exact token stays hidden.
+        universe = TokenUniverse({"t1": "h1", "t3": "h1"})
+        rings = [ring("r3", {"t1", "t3"})]
+        result = homogeneity_attack(rings, universe)
+        assert result.revealed == {"r3": "h1"}
+        assert result.revelation_rate == 1.0
+
+    def test_diverse_ring_resists(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        rings = [ring("r1", {"a", "b"})]
+        result = homogeneity_attack(rings, universe)
+        assert result.revealed == {}
+        assert result.ht_support["r1"] == 2
+
+    def test_elimination_feeds_homogeneity(self):
+        # After elimination, r3's survivors {t3, t4} share HT hx.
+        universe = TokenUniverse(
+            {"t1": "ha", "t2": "hb", "t3": "hx", "t4": "hx"}
+        )
+        rings = [
+            ring("r1", {"t1", "t2"}),
+            ring("r2", {"t1", "t2"}),
+            ring("r3", {"t1", "t3", "t4"}),
+        ]
+        result = homogeneity_attack(rings, universe)
+        assert result.revealed == {"r3": "hx"}
+
+    def test_side_information_narrows_support(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h2"})
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"a", "c"})]
+        before = homogeneity_attack(rings, universe)
+        after = homogeneity_attack(rings, universe, side_information={"r1": "a"})
+        assert before.revealed == {}
+        # Knowing r1 -> a forces r2 -> c, whose HT is h2.
+        assert after.revealed["r2"] == "h2"
+
+    def test_precomputed_analysis_reused(self):
+        from repro.analysis.chain_reaction import exact_analysis
+
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        rings = [ring("r1", {"a", "b"})]
+        analysis = exact_analysis(rings)
+        result = homogeneity_attack(rings, universe, chain_reaction=analysis)
+        assert result.revealed == {"r1": "h1"}
+
+
+class TestHtDistribution:
+    def test_counts(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1", "c": "h2"})
+        counts = ht_distribution(frozenset({"a", "b", "c"}), universe)
+        assert counts == {"h1": 2, "h2": 1}
+
+    def test_empty(self):
+        universe = TokenUniverse({"a": "h1"})
+        assert ht_distribution(frozenset(), universe) == {}

@@ -1,0 +1,75 @@
+"""Unit tests for key pairs and key images."""
+
+import pytest
+
+from repro.crypto.ed25519 import G, L, scalar_mult
+from repro.crypto.keys import (
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    generate_keypair,
+    keypair_from_seed,
+)
+
+
+class TestPrivateKey:
+    def test_public_key_derivation(self):
+        private = PrivateKey(12345)
+        assert private.public_key().point == scalar_mult(12345, G)
+
+    def test_zero_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            PrivateKey(0)
+
+    def test_out_of_range_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            PrivateKey(L)
+
+    def test_key_image_deterministic(self):
+        private = PrivateKey(777)
+        assert private.key_image() == private.key_image()
+
+    def test_key_images_differ_between_keys(self):
+        assert PrivateKey(1).key_image() != PrivateKey(2).key_image()
+
+
+class TestKeyPair:
+    def test_public_matches_private(self):
+        pair = KeyPair(PrivateKey(42))
+        assert pair.public.point == scalar_mult(42, G)
+
+    def test_key_image_shortcut(self):
+        pair = KeyPair(PrivateKey(42))
+        assert pair.key_image() == pair.private.key_image()
+
+
+class TestGeneration:
+    def test_generate_is_valid(self):
+        pair = generate_keypair()
+        assert 0 < pair.private.scalar < L
+
+    def test_generate_unique(self):
+        assert generate_keypair().private.scalar != generate_keypair().private.scalar
+
+    def test_seed_deterministic(self):
+        assert keypair_from_seed("alice").public.encode() == keypair_from_seed(
+            "alice"
+        ).public.encode()
+
+    def test_seed_bytes_and_str_equivalent(self):
+        assert (
+            keypair_from_seed("alice").private.scalar
+            == keypair_from_seed(b"alice").private.scalar
+        )
+
+    def test_different_seeds_differ(self):
+        assert (
+            keypair_from_seed("alice").private.scalar
+            != keypair_from_seed("bob").private.scalar
+        )
+
+
+class TestPublicKey:
+    def test_hex_matches_encode(self):
+        public = PublicKey(scalar_mult(9, G))
+        assert public.hex == public.encode().hex()

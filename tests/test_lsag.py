@@ -1,0 +1,134 @@
+"""Unit tests for the bLSAG linkable ring signatures."""
+
+import pytest
+
+from repro.crypto.keys import keypair_from_seed
+from repro.crypto.lsag import RingSignatureProof, SigningError, is_linked, sign, verify
+
+
+def make_ring(size: int, signer_position: int, signer_seed: str = "signer"):
+    signer = keypair_from_seed(signer_seed)
+    ring = [keypair_from_seed(f"decoy-{i}").public for i in range(size - 1)]
+    ring.insert(signer_position, signer.public)
+    return ring, signer
+
+
+class TestSignVerify:
+    def test_round_trip(self):
+        ring, signer = make_ring(5, 2)
+        proof = sign(b"message", ring, signer)
+        assert verify(b"message", proof)
+
+    def test_signer_position_hidden_everywhere(self):
+        for position in range(4):
+            ring, signer = make_ring(4, position)
+            proof = sign(b"m", ring, signer)
+            assert verify(b"m", proof)
+
+    def test_minimum_ring_of_two(self):
+        ring, signer = make_ring(2, 0)
+        proof = sign(b"m", ring, signer)
+        assert verify(b"m", proof)
+
+    def test_singleton_ring(self):
+        ring, signer = make_ring(1, 0)
+        proof = sign(b"m", ring, signer)
+        assert verify(b"m", proof)
+
+    def test_tampered_message_fails(self):
+        ring, signer = make_ring(4, 1)
+        proof = sign(b"message", ring, signer)
+        assert not verify(b"massage", proof)
+
+    def test_tampered_response_fails(self):
+        ring, signer = make_ring(4, 1)
+        proof = sign(b"m", ring, signer)
+        tampered = RingSignatureProof(
+            ring=proof.ring,
+            c0=proof.c0,
+            responses=(proof.responses[0] + 1,) + proof.responses[1:],
+            key_image=proof.key_image,
+        )
+        assert not verify(b"m", tampered)
+
+    def test_tampered_c0_fails(self):
+        ring, signer = make_ring(4, 1)
+        proof = sign(b"m", ring, signer)
+        tampered = RingSignatureProof(
+            ring=proof.ring,
+            c0=proof.c0 + 1,
+            responses=proof.responses,
+            key_image=proof.key_image,
+        )
+        assert not verify(b"m", tampered)
+
+    def test_swapped_key_image_fails(self):
+        ring, signer = make_ring(4, 1)
+        other = keypair_from_seed("someone-else")
+        proof = sign(b"m", ring, signer)
+        tampered = RingSignatureProof(
+            ring=proof.ring,
+            c0=proof.c0,
+            responses=proof.responses,
+            key_image=other.key_image(),
+        )
+        assert not verify(b"m", tampered)
+
+    def test_response_count_mismatch_fails(self):
+        ring, signer = make_ring(4, 1)
+        proof = sign(b"m", ring, signer)
+        truncated = RingSignatureProof(
+            ring=proof.ring,
+            c0=proof.c0,
+            responses=proof.responses[:-1],
+            key_image=proof.key_image,
+        )
+        assert not verify(b"m", truncated)
+
+
+class TestSigningErrors:
+    def test_signer_not_in_ring(self):
+        ring = [keypair_from_seed(f"decoy-{i}").public for i in range(3)]
+        with pytest.raises(SigningError):
+            sign(b"m", ring, keypair_from_seed("outsider"))
+
+    def test_duplicate_ring_members_rejected(self):
+        signer = keypair_from_seed("signer")
+        ring = [signer.public, signer.public]
+        with pytest.raises(SigningError):
+            sign(b"m", ring, signer)
+
+
+class TestLinkability:
+    def test_same_key_links(self):
+        ring, signer = make_ring(4, 0)
+        proof_a = sign(b"first", ring, signer)
+        proof_b = sign(b"second", ring, signer)
+        assert is_linked(proof_a, proof_b)
+
+    def test_different_keys_do_not_link(self):
+        ring, signer = make_ring(4, 0)
+        proof_a = sign(b"m", ring, signer)
+        decoy_keypair = keypair_from_seed("decoy-0")
+        proof_b = sign(b"m", ring, decoy_keypair)
+        assert not is_linked(proof_a, proof_b)
+
+    def test_link_independent_of_ring(self):
+        signer = keypair_from_seed("signer")
+        ring_a = [signer.public] + [keypair_from_seed(f"a{i}").public for i in range(3)]
+        ring_b = [signer.public] + [keypair_from_seed(f"b{i}").public for i in range(5)]
+        proof_a = sign(b"m", ring_a, signer)
+        proof_b = sign(b"n", ring_b, signer)
+        assert is_linked(proof_a, proof_b)
+
+
+class TestProofShape:
+    def test_size_property(self):
+        ring, signer = make_ring(6, 3)
+        proof = sign(b"m", ring, signer)
+        assert proof.size == 6
+        assert len(proof.responses) == 6
+
+    def test_signatures_are_randomized(self):
+        ring, signer = make_ring(3, 0)
+        assert sign(b"m", ring, signer) != sign(b"m", ring, signer)

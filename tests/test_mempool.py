@@ -1,0 +1,119 @@
+"""Unit tests for the mempool."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.errors import DoubleSpendError, UnknownTokenError, ValidationError
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import RingInput, Transaction
+from repro.crypto.keys import keypair_from_seed
+
+
+def funded_pool(outputs=6, max_size=10_000):
+    chain = Blockchain(verify_signatures=False)
+    coinbase = Transaction(inputs=(), output_count=outputs)
+    chain.append_block(chain.make_block([coinbase], timestamp=1.0))
+    tokens = sorted(chain.universe.tokens)
+    return Mempool(chain=chain, max_size=max_size), tokens
+
+
+def spend(tokens, seed, nonce=0, mixins=1):
+    keypair = keypair_from_seed(seed)
+    ring = tuple(sorted(tokens[: mixins + 1]))
+    return Transaction(
+        inputs=(RingInput(ring_tokens=ring, key_image=keypair.key_image()),),
+        output_count=1,
+        nonce=nonce,
+    )
+
+
+class TestSubmit:
+    def test_accepts_valid_transaction(self):
+        pool, tokens = funded_pool()
+        tx = spend(tokens, "alice")
+        pool.submit(tx)
+        assert tx.tx_id in pool
+        assert len(pool) == 1
+
+    def test_idempotent_resubmission(self):
+        pool, tokens = funded_pool()
+        tx = spend(tokens, "alice")
+        pool.submit(tx)
+        pool.submit(tx)
+        assert len(pool) == 1
+
+    def test_unknown_token_rejected(self):
+        pool, _ = funded_pool()
+        ghost = Transaction(
+            inputs=(RingInput(ring_tokens=("ghost:0",)),), output_count=1
+        )
+        with pytest.raises(UnknownTokenError):
+            pool.submit(ghost)
+
+    def test_pending_key_image_conflict(self):
+        pool, tokens = funded_pool()
+        pool.submit(spend(tokens, "alice", nonce=0))
+        with pytest.raises(DoubleSpendError):
+            pool.submit(spend(tokens, "alice", nonce=1))
+
+    def test_on_chain_key_image_conflict(self):
+        pool, tokens = funded_pool()
+        tx = spend(tokens, "alice")
+        pool.chain.append_block(pool.chain.make_block([tx], timestamp=2.0))
+        with pytest.raises(DoubleSpendError):
+            pool.submit(spend(tokens, "alice", nonce=1))
+
+
+class TestEviction:
+    def test_full_pool_evicts_cheapest(self):
+        pool, tokens = funded_pool(max_size=2)
+        cheap = spend(tokens, "a", nonce=0, mixins=1)     # fee 1
+        medium = spend(tokens, "b", nonce=1, mixins=2)    # fee 2
+        rich = spend(tokens, "c", nonce=2, mixins=3)      # fee 3
+        pool.submit(cheap)
+        pool.submit(medium)
+        pool.submit(rich)
+        assert len(pool) == 2
+        assert cheap.tx_id not in pool
+        assert rich.tx_id in pool
+
+    def test_low_fee_rejected_when_full(self):
+        pool, tokens = funded_pool(max_size=1)
+        pool.submit(spend(tokens, "a", nonce=0, mixins=3))
+        with pytest.raises(ValidationError):
+            pool.submit(spend(tokens, "b", nonce=1, mixins=1))
+
+
+class TestMining:
+    def test_select_by_fee(self):
+        pool, tokens = funded_pool()
+        low = spend(tokens, "a", nonce=0, mixins=1)
+        high = spend(tokens, "b", nonce=1, mixins=4)
+        pool.submit(low)
+        pool.submit(high)
+        chosen = pool.select_for_block(limit=1)
+        assert chosen == [high]
+
+    def test_mine_block_applies_and_prunes(self):
+        pool, tokens = funded_pool()
+        tx = spend(tokens, "alice")
+        pool.submit(tx)
+        block = pool.mine_block(timestamp=2.0)
+        assert tx in block.transactions
+        assert len(pool) == 0
+        assert pool.chain.height == 2
+
+    def test_prune_removes_externally_confirmed(self):
+        pool, tokens = funded_pool()
+        tx = spend(tokens, "alice")
+        pool.submit(tx)
+        # The same key image lands on chain via another path.
+        other = spend(tokens, "alice", nonce=7)
+        pool.chain.append_block(pool.chain.make_block([other], timestamp=2.0))
+        assert pool.prune() == 1
+        assert len(pool) == 0
+
+    def test_mine_empty_block(self):
+        pool, _ = funded_pool()
+        block = pool.mine_block(timestamp=2.0)
+        assert block.transactions == ()

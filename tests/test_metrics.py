@@ -1,0 +1,91 @@
+"""Unit tests for anonymity metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.chain_reaction import exact_analysis
+from repro.analysis.metrics import (
+    population_metrics,
+    ring_anonymity,
+    total_fee,
+)
+from repro.core.ring import Ring, TokenUniverse
+
+
+def ring(rid, tokens, seq=0):
+    return Ring(rid=rid, tokens=frozenset(tokens), seq=seq)
+
+
+class TestRingAnonymity:
+    def test_untouched_ring(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3", "d": "h4"})
+        r = ring("r", {"a", "b", "c", "d"})
+        analysis = exact_analysis([r])
+        anonymity = ring_anonymity(r, analysis, universe)
+        assert anonymity.nominal_size == 4
+        assert anonymity.effective_size == 4
+        assert anonymity.token_entropy == pytest.approx(2.0)
+        assert anonymity.ht_entropy == pytest.approx(2.0)
+        assert not anonymity.fully_deanonymized
+
+    def test_deanonymized_ring(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        r1 = ring("r1", {"a"})
+        r2 = ring("r2", {"a", "b"})
+        analysis = exact_analysis([r1, r2])
+        anonymity = ring_anonymity(r2, analysis, universe)
+        assert anonymity.effective_size == 1
+        assert anonymity.token_entropy == 0.0
+        assert anonymity.fully_deanonymized
+
+    def test_ht_entropy_lower_than_token_entropy_when_skewed(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1", "c": "h2"})
+        r = ring("r", {"a", "b", "c"})
+        analysis = exact_analysis([r])
+        anonymity = ring_anonymity(r, analysis, universe)
+        assert anonymity.token_entropy == pytest.approx(math.log2(3))
+        assert anonymity.ht_entropy < anonymity.token_entropy
+
+
+class TestPopulationMetrics:
+    def test_aggregates(self):
+        universe = TokenUniverse(
+            {"a": "h1", "b": "h2", "c": "h3", "d": "h4"}
+        )
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"c", "d"})]
+        metrics = population_metrics(rings, universe)
+        assert metrics.ring_count == 2
+        assert metrics.mean_nominal_size == 2.0
+        assert metrics.mean_effective_size == 2.0
+        assert metrics.deanonymization_rate == 0.0
+        assert metrics.total_fee == 2  # one mixin each
+
+    def test_cascade_option(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"a", "b"})]
+        exact = population_metrics(rings, universe, exact=True)
+        weak = population_metrics(rings, universe, exact=False)
+        assert exact.mean_effective_size <= weak.mean_effective_size
+
+    def test_side_information(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"a", "b"})]
+        metrics = population_metrics(
+            rings, universe, side_information={"r1": "a"}
+        )
+        assert metrics.deanonymization_rate == 1.0
+
+    def test_empty_population_rejected(self):
+        universe = TokenUniverse({"a": "h1"})
+        with pytest.raises(ValueError):
+            population_metrics([], universe)
+
+
+class TestTotalFee:
+    def test_fee_counts_mixins(self):
+        rings = [ring("r1", {"a", "b", "c"}), ring("r2", {"d"})]
+        assert total_fee(rings) == 2
+
+    def test_empty(self):
+        assert total_fee([]) == 0

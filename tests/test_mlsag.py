@@ -1,0 +1,141 @@
+"""Unit tests for MLSAG multi-layer ring signatures."""
+
+import pytest
+
+from repro.crypto.keys import keypair_from_seed
+from repro.crypto.lsag import SigningError
+from repro.crypto.mlsag import MlsagProof, mlsag_sign, mlsag_verify
+
+
+def make_ring(columns, layers, signer_column):
+    signers = [keypair_from_seed(f"signer-layer{k}") for k in range(layers)]
+    ring = []
+    for j in range(columns):
+        if j == signer_column:
+            ring.append([kp.public for kp in signers])
+        else:
+            ring.append(
+                [keypair_from_seed(f"decoy-{j}-{k}").public for k in range(layers)]
+            )
+    return ring, signers
+
+
+class TestSignVerify:
+    def test_round_trip_two_layers(self):
+        ring, signers = make_ring(columns=4, layers=2, signer_column=1)
+        proof = mlsag_sign(b"tx digest", ring, signers)
+        assert mlsag_verify(b"tx digest", proof)
+
+    def test_single_layer_degenerates_to_lsag_shape(self):
+        ring, signers = make_ring(columns=5, layers=1, signer_column=0)
+        proof = mlsag_sign(b"m", ring, signers)
+        assert proof.layers == 1
+        assert mlsag_verify(b"m", proof)
+
+    def test_three_layers(self):
+        ring, signers = make_ring(columns=3, layers=3, signer_column=2)
+        proof = mlsag_sign(b"m", ring, signers)
+        assert mlsag_verify(b"m", proof)
+
+    def test_tampered_message_fails(self):
+        ring, signers = make_ring(4, 2, 0)
+        proof = mlsag_sign(b"message", ring, signers)
+        assert not mlsag_verify(b"massage", proof)
+
+    def test_tampered_response_fails(self):
+        ring, signers = make_ring(4, 2, 0)
+        proof = mlsag_sign(b"m", ring, signers)
+        rows = [list(row) for row in proof.responses]
+        rows[1][0] += 1
+        tampered = MlsagProof(
+            ring=proof.ring,
+            c0=proof.c0,
+            responses=tuple(tuple(row) for row in rows),
+            key_images=proof.key_images,
+        )
+        assert not mlsag_verify(b"m", tampered)
+
+    def test_wrong_key_image_fails(self):
+        ring, signers = make_ring(4, 2, 0)
+        proof = mlsag_sign(b"m", ring, signers)
+        outsider = keypair_from_seed("outsider")
+        tampered = MlsagProof(
+            ring=proof.ring,
+            c0=proof.c0,
+            responses=proof.responses,
+            key_images=(outsider.key_image(), proof.key_images[1]),
+        )
+        assert not mlsag_verify(b"m", tampered)
+
+
+class TestStructureValidation:
+    def test_signers_not_in_ring(self):
+        ring, _ = make_ring(3, 2, 0)
+        strangers = [keypair_from_seed(f"x{k}") for k in range(2)]
+        with pytest.raises(SigningError):
+            mlsag_sign(b"m", ring, strangers)
+
+    def test_signers_split_across_columns_rejected(self):
+        # Layer keys present but never together at one column.
+        signers = [keypair_from_seed(f"signer-layer{k}") for k in range(2)]
+        ring = [
+            [signers[0].public, keypair_from_seed("d0").public],
+            [keypair_from_seed("d1").public, signers[1].public],
+        ]
+        with pytest.raises(SigningError):
+            mlsag_sign(b"m", ring, signers)
+
+    def test_ragged_ring_rejected(self):
+        signers = [keypair_from_seed("s0")]
+        ring = [[signers[0].public], [keypair_from_seed("a").public,
+                                      keypair_from_seed("b").public]]
+        with pytest.raises(SigningError):
+            mlsag_sign(b"m", ring, signers)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(SigningError):
+            mlsag_sign(b"m", [], [])
+
+
+class TestLinkability:
+    def test_per_layer_key_images_link(self):
+        ring_a, signers = make_ring(4, 2, 0)
+        ring_b, _ = make_ring(5, 2, 3)
+        # Place the same signers in ring_b's column 3.
+        ring_b[3] = [kp.public for kp in signers]
+        proof_a = mlsag_sign(b"first", ring_a, signers)
+        proof_b = mlsag_sign(b"second", ring_b, signers)
+        assert proof_a.key_images == proof_b.key_images
+
+    def test_different_signers_unlinked(self):
+        ring, signers = make_ring(4, 2, 0)
+        other_signers = [keypair_from_seed(f"other{k}") for k in range(2)]
+        ring2 = list(ring)
+        ring2[2] = [kp.public for kp in other_signers]
+        proof_a = mlsag_sign(b"m", ring, signers)
+        proof_b = mlsag_sign(b"m", ring2, other_signers)
+        assert set(proof_a.key_images).isdisjoint(proof_b.key_images)
+
+
+class TestVerifierShapeChecks:
+    def test_mismatched_dimensions_rejected(self):
+        ring, signers = make_ring(3, 2, 0)
+        proof = mlsag_sign(b"m", ring, signers)
+        short = MlsagProof(
+            ring=proof.ring,
+            c0=proof.c0,
+            responses=proof.responses[:-1],
+            key_images=proof.key_images,
+        )
+        assert not mlsag_verify(b"m", short)
+
+    def test_missing_key_image_rejected(self):
+        ring, signers = make_ring(3, 2, 0)
+        proof = mlsag_sign(b"m", ring, signers)
+        partial = MlsagProof(
+            ring=proof.ring,
+            c0=proof.c0,
+            responses=proof.responses,
+            key_images=proof.key_images[:1],
+        )
+        assert not mlsag_verify(b"m", partial)

@@ -1,0 +1,194 @@
+"""Unit tests for the practical configurations (Section 6.1)."""
+
+import pytest
+
+from repro.core.diversity import ht_counts_satisfy
+from repro.core.dtrs import get_dtrss
+from repro.core.modules import (
+    ModuleUniverse,
+    find_fresh_tokens,
+    find_super_rings,
+    is_superset_or_disjoint,
+    ring_is_recursive_diverse_config,
+    second_config_ell,
+    subset_count,
+    theorem61_dtrs_token_sets,
+)
+from repro.core.ring import Ring, TokenUniverse
+
+
+def ring(rid, tokens, seq=0, c=1.0, ell=1):
+    return Ring(rid=rid, tokens=frozenset(tokens), c=c, ell=ell, seq=seq)
+
+
+class TestSuperRings:
+    def test_paper_definition_7_example(self):
+        # r1 proposed at pi, r2 (superset) at pi+1, r3 disjoint at pi+2:
+        # r2 and r3 are super RSs; r1 is not; v of r2 is 2.
+        r1 = ring("r1", {"t1", "t2"}, seq=0)
+        r2 = ring("r2", {"t1", "t2", "t3"}, seq=1)
+        r3 = ring("r3", {"t4", "t5"}, seq=2)
+        supers = find_super_rings([r1, r2, r3])
+        assert {r.rid for r in supers} == {"r2", "r3"}
+        assert subset_count(r2, [r1, r2, r3]) == 2
+
+    def test_earlier_superset_does_not_disqualify(self):
+        # Definition 7 only looks at rings proposed *after* r_i.
+        big = ring("big", {"a", "b", "c"}, seq=0)
+        small = ring("small", {"a", "b"}, seq=1)
+        supers = find_super_rings([big, small])
+        assert {r.rid for r in supers} == {"big", "small"}
+
+    def test_identical_rings_are_both_super(self):
+        # Equal token sets are not strict supersets of each other.
+        r1 = ring("r1", {"a"}, seq=0)
+        r2 = ring("r2", {"a"}, seq=1)
+        assert {r.rid for r in find_super_rings([r1, r2])} == {"r1", "r2"}
+
+    def test_subset_count_includes_self(self):
+        r = ring("r", {"a", "b"})
+        assert subset_count(r, [r]) == 1
+
+
+class TestFreshTokens:
+    def test_uncovered_tokens_found(self):
+        rings = [ring("r1", {"a", "b"})]
+        assert find_fresh_tokens({"a", "b", "c", "d"}, rings) == ["c", "d"]
+
+    def test_no_rings_all_fresh(self):
+        assert find_fresh_tokens({"a", "b"}, []) == ["a", "b"]
+
+    def test_everything_covered(self):
+        assert find_fresh_tokens({"a"}, [ring("r", {"a"})]) == []
+
+
+class TestModuleUniverse:
+    def setup_method(self):
+        self.universe = TokenUniverse(
+            {"a": "h1", "b": "h2", "c": "h3", "d": "h4", "e": "h5"}
+        )
+        self.r1 = ring("r1", {"a", "b"}, seq=0)
+        self.r2 = ring("r2", {"a", "b", "c"}, seq=1)
+        self.modules = ModuleUniverse(self.universe, [self.r1, self.r2])
+
+    def test_module_count(self):
+        # One super RS (r2; r1 is covered) and two fresh tokens (d, e).
+        super_modules = [m for m in self.modules.modules if m.is_super]
+        fresh_modules = [m for m in self.modules.modules if not m.is_super]
+        assert {m.source_rid for m in super_modules} == {"r2"}
+        assert {next(iter(m.tokens)) for m in fresh_modules} == {"d", "e"}
+
+    def test_module_of_ring_token(self):
+        assert self.modules.module_of("a").source_rid == "r2"
+
+    def test_module_of_fresh_token(self):
+        module = self.modules.module_of("d")
+        assert not module.is_super
+        assert module.tokens == frozenset({"d"})
+
+    def test_module_of_unknown_token(self):
+        with pytest.raises(KeyError):
+            self.modules.module_of("zz")
+
+    def test_others_excludes_module(self):
+        anchor = self.modules.module_of("a")
+        others = self.modules.others(anchor)
+        assert anchor.mid not in {m.mid for m in others}
+        assert len(others) == len(self.modules.modules) - 1
+
+    def test_super_of_nested_ring(self):
+        assert self.modules.super_of(self.r1).rid == "r2"
+        assert self.modules.super_of(self.r2).rid == "r2"
+
+    def test_subset_count_of(self):
+        assert self.modules.subset_count_of("r2") == 2
+        assert self.modules.subset_count_of("r1") == 1
+
+    def test_ht_counts_helper(self):
+        module = self.modules.module_of("a")
+        assert module.ht_counts(self.universe) == {"h1": 1, "h2": 1, "h3": 1}
+
+
+class TestSupersetOrDisjoint:
+    def test_superset_ok(self):
+        r1 = ring("r1", {"a", "b"})
+        assert is_superset_or_disjoint(frozenset({"a", "b", "c"}), [r1])
+
+    def test_disjoint_ok(self):
+        r1 = ring("r1", {"a", "b"})
+        assert is_superset_or_disjoint(frozenset({"c", "d"}), [r1])
+
+    def test_partial_overlap_rejected(self):
+        r1 = ring("r1", {"a", "b"})
+        assert not is_superset_or_disjoint(frozenset({"b", "c"}), [r1])
+
+    def test_empty_ring_set_ok(self):
+        assert is_superset_or_disjoint(frozenset({"a"}), [])
+
+
+class TestTheorem61:
+    def test_matches_exact_dtrs_token_sets(self):
+        # Configuration-1 world: new rings are supersets of old ones.
+        universe = TokenUniverse(
+            {"a": "h1", "b": "h1", "c": "h2", "d": "h3", "e": "h4"}
+        )
+        inner = ring("inner", {"a", "b", "c"}, seq=0)
+        outer = ring("outer", {"a", "b", "c", "d"}, seq=1)
+        modules = ModuleUniverse(universe, [inner, outer])
+
+        predicted = {
+            psi for _, psi in theorem61_dtrs_token_sets(inner, modules)
+        }
+        exact = {
+            dtrs.tokens
+            for dtrs in get_dtrss(inner, [inner, outer], universe)
+            if dtrs.tokens
+        }
+        # Theorem 6.1 predicts the token sets of determining DTRSs.
+        assert exact <= predicted or predicted <= exact or predicted == exact
+
+    def test_low_subset_count_blocks_dtrs(self):
+        # A lone super RS has v = 1 < |r| - |T~| + 1 for every minority
+        # HT, so only HTs with multiplicity |r| (all tokens) can fire.
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3"})
+        lone = ring("lone", {"a", "b", "c"}, seq=0)
+        modules = ModuleUniverse(universe, [lone])
+        assert theorem61_dtrs_token_sets(lone, modules) == []
+
+    def test_full_subset_count_fires(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3"})
+        base = ring("base", {"a", "b", "c"}, seq=0)
+        dup1 = ring("dup1", {"a", "b", "c"}, seq=1)
+        dup2 = ring("dup2", {"a", "b", "c"}, seq=2)
+        modules = ModuleUniverse(universe, [base, dup1, dup2])
+        # v = 3 >= 3 - 1 + 1 = 3: every HT yields a psi set.
+        psis = theorem61_dtrs_token_sets(base, modules)
+        assert len(psis) == 3
+        for ht, psi in psis:
+            assert psi == base.tokens - universe.tokens_of_ht(ht)
+
+
+class TestConfigDiversityCheck:
+    def test_passes_on_diverse_super_rs(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3"})
+        r = ring("r", {"a", "b", "c"}, c=2.0, ell=2)
+        modules = ModuleUniverse(universe, [r])
+        assert ring_is_recursive_diverse_config(r, modules)
+
+    def test_fails_on_homogeneous_ring(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        r = ring("r", {"a", "b"}, c=2.0, ell=2)
+        modules = ModuleUniverse(universe, [r])
+        assert not ring_is_recursive_diverse_config(r, modules)
+
+    def test_explicit_requirement_overrides_claim(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        r = ring("r", {"a", "b"}, c=0.1, ell=5)
+        modules = ModuleUniverse(universe, [r])
+        assert ring_is_recursive_diverse_config(r, modules, c=2.0, ell=2)
+
+
+class TestSecondConfig:
+    def test_increments_ell(self):
+        assert second_config_ell(1) == 2
+        assert second_config_ell(40) == 41

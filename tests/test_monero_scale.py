@@ -1,0 +1,71 @@
+"""Paper-scale sanity checks: the analyses at 633-token scale.
+
+The matching-based analyses must stay practical at the size of the
+paper's real data set (633 tokens, 57 rings of size 11), or the
+adversary substrate would be toothless exactly where it matters.
+"""
+
+import time
+
+from repro.analysis.chain_reaction import cascade_attack, exact_analysis
+from repro.analysis.metrics import population_metrics
+from repro.core.modules import ModuleUniverse
+from repro.data.monero import generate_monero_hour
+from repro.tokenmagic.registry import consumed_closure
+
+
+class TestMoneroScaleAnalysis:
+    def setup_method(self):
+        self.hour = generate_monero_hour(seed=5)
+        self.rings = self.hour.rings
+        self.universe = self.hour.universe
+
+    def test_exact_analysis_completes_fast(self):
+        start = time.perf_counter()
+        analysis = exact_analysis(self.rings)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0
+        # Disjoint super RSs: nothing eliminable, nothing deanonymized.
+        assert analysis.deanonymization_rate == 0.0
+        assert all(
+            analysis.possible[r.rid] == r.tokens for r in self.rings
+        )
+
+    def test_cascade_matches_exact_on_disjoint_population(self):
+        weak = cascade_attack(self.rings)
+        strong = exact_analysis(self.rings)
+        for ring in self.rings:
+            assert weak.possible[ring.rid] == strong.possible[ring.rid]
+
+    def test_population_metrics_at_scale(self):
+        metrics = population_metrics(self.rings, self.universe)
+        assert metrics.ring_count == 57
+        assert metrics.mean_nominal_size == 11.0
+        assert metrics.mean_effective_size == 11.0
+        assert metrics.total_fee == 57 * 10
+
+    def test_consumed_closure_at_scale(self):
+        start = time.perf_counter()
+        consumed = consumed_closure(list(self.rings))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0
+        assert consumed == frozenset()  # 57 disjoint 11-rings: no proof
+
+    def test_module_decomposition_at_scale(self):
+        start = time.perf_counter()
+        modules = ModuleUniverse(self.universe, self.rings)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0
+        assert len(modules.modules) == 57 + 6
+
+    def test_selector_throughput_at_scale(self):
+        # One selection per algorithm stays well under a second.
+        from repro.core.selector import get_selector
+
+        modules = ModuleUniverse(self.universe, self.rings)
+        target = self.hour.fresh_tokens[0]
+        for name in ("smallest", "random", "progressive", "game"):
+            start = time.perf_counter()
+            result = get_selector(name)(modules, target, 0.6, 41)
+            assert time.perf_counter() - start < 1.0
+            assert target in result.tokens

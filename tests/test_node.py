@@ -1,0 +1,75 @@
+"""Unit tests for full-node / light-node views."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.errors import ChainError
+from repro.chain.node import FullNode, LightNode
+from repro.chain.transaction import RingInput, Transaction
+
+
+def funded_chain(block_output_counts=(3, 3, 3, 3)):
+    chain = Blockchain(verify_signatures=False)
+    for index, count in enumerate(block_output_counts):
+        tx = Transaction(inputs=(), output_count=count, nonce=index)
+        chain.append_block(chain.make_block([tx], timestamp=float(index)))
+    return chain
+
+
+class TestFullNode:
+    def test_batch_list(self):
+        node = FullNode(funded_chain(), batch_lambda=6)
+        batches = node.batch_list()
+        assert len(batches) == 2
+        assert all(b.token_count == 6 for b in batches)
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            FullNode(funded_chain(), batch_lambda=0)
+
+    def test_batch_of_token(self):
+        node = FullNode(funded_chain(), batch_lambda=6)
+        token = sorted(node.batch_list()[1].universe.tokens)[0]
+        assert node.batch_of_token(token).index == 1
+
+    def test_unknown_token_raises(self):
+        node = FullNode(funded_chain(), batch_lambda=6)
+        with pytest.raises(ChainError):
+            node.batch_of_token("ghost:0")
+
+    def test_batch_universe_bounds(self):
+        node = FullNode(funded_chain(), batch_lambda=6)
+        assert len(node.batch_universe(0)) == 6
+        with pytest.raises(ChainError):
+            node.batch_universe(9)
+
+    def test_rings_over_universe(self):
+        chain = funded_chain()
+        node = FullNode(chain, batch_lambda=6)
+        batch = node.batch_list()[0]
+        members = tuple(sorted(batch.universe.tokens))[:2]
+        spend = Transaction(
+            inputs=(RingInput(ring_tokens=tuple(sorted(members))),),
+            output_count=1,
+        )
+        chain.append_block(chain.make_block([spend], timestamp=99.0))
+        rings = node.rings_over(batch.universe)
+        assert len(rings) == 1
+
+
+class TestLightNode:
+    def test_queries_peer(self):
+        full = FullNode(funded_chain(), batch_lambda=6)
+        light = LightNode(peer=full)
+        token = sorted(full.batch_list()[0].universe.tokens)[0]
+        assert light.batch_for(token).index == 0
+        assert token in light.mixin_universe(token)
+
+    def test_light_and_full_agree(self):
+        # Consensus property: the light node's batch view equals the
+        # full node's for every token.
+        full = FullNode(funded_chain(), batch_lambda=6)
+        light = LightNode(peer=full)
+        for batch in full.batch_list():
+            for token in batch.universe.tokens:
+                assert light.batch_for(token).index == batch.index

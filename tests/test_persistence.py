@@ -1,0 +1,78 @@
+"""Round-trip tests for dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.core.ring import Ring, TokenUniverse
+from repro.data.monero import generate_monero_hour
+from repro.data.persistence import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    save_dataset,
+)
+
+
+def small_dataset():
+    universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h1"})
+    rings = [
+        Ring("r1", frozenset({"a", "b"}), c=2.0, ell=2, seq=0),
+        Ring("r2", frozenset({"c"}), c=1.0, ell=1, seq=1),
+    ]
+    return universe, rings
+
+
+class TestDictRoundTrip:
+    def test_lossless(self):
+        universe, rings = small_dataset()
+        payload = dataset_to_dict(universe, rings, {"note": "test"})
+        restored_universe, restored_rings, metadata = dataset_from_dict(payload)
+        assert restored_universe.tokens == universe.tokens
+        assert all(
+            restored_universe.ht_of(t) == universe.ht_of(t) for t in universe
+        )
+        assert restored_rings == rings
+        assert metadata == {"note": "test"}
+
+    def test_version_checked(self):
+        universe, rings = small_dataset()
+        payload = dataset_to_dict(universe, rings)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            dataset_from_dict(payload)
+
+    def test_unknown_ring_tokens_rejected(self):
+        universe, rings = small_dataset()
+        payload = dataset_to_dict(universe, rings)
+        payload["rings"][0]["tokens"].append("ghost")
+        with pytest.raises(ValueError):
+            dataset_from_dict(payload)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        universe, rings = small_dataset()
+        path = save_dataset(tmp_path / "ds.json", universe, rings, {"k": 1})
+        restored_universe, restored_rings, metadata = load_dataset(path)
+        assert restored_rings == rings
+        assert metadata == {"k": 1}
+
+    def test_monero_hour_round_trips(self, tmp_path):
+        hour = generate_monero_hour(seed=2)
+        path = save_dataset(
+            tmp_path / "monero.json",
+            hour.universe,
+            hour.rings,
+            {"seed": 2, "source": "generate_monero_hour"},
+        )
+        universe, rings, metadata = load_dataset(path)
+        assert len(universe) == 633
+        assert len(rings) == 57
+        assert metadata["seed"] == 2
+
+    def test_document_is_stable_json(self, tmp_path):
+        universe, rings = small_dataset()
+        path_a = save_dataset(tmp_path / "a.json", universe, rings)
+        path_b = save_dataset(tmp_path / "b.json", universe, rings)
+        assert json.loads(path_a.read_text()) == json.loads(path_b.read_text())

@@ -1,0 +1,132 @@
+"""Unit tests for the DA-MS problem definition and exact constraints."""
+
+import pytest
+
+from repro.core.problem import (
+    DamsInstance,
+    check_diversity_constraint,
+    check_immutability_constraint,
+    check_non_eliminated_constraint,
+    is_feasible_exact,
+)
+from repro.core.ring import Ring, TokenUniverse
+
+
+def ring(rid, tokens, seq=0, c=1.0, ell=1):
+    return Ring(rid=rid, tokens=frozenset(tokens), c=c, ell=ell, seq=seq)
+
+
+def example1_instance():
+    """Paper Example 1: t1,t3 from h1; t2 from h2; t4 from h3."""
+    universe = TokenUniverse({"t1": "h1", "t2": "h2", "t3": "h1", "t4": "h3"})
+    r1 = ring("r1", {"t1", "t2"}, seq=0, c=2.0, ell=2)
+    r2 = ring("r2", {"t1", "t2"}, seq=1, c=2.0, ell=2)
+    return DamsInstance(universe, [r1, r2], "t3", c=2.0, ell=2)
+
+
+class TestDamsInstance:
+    def test_candidate_mixins_excludes_target(self):
+        instance = example1_instance()
+        assert instance.candidate_mixins() == frozenset({"t1", "t2", "t4"})
+
+    def test_make_ring_includes_target(self):
+        instance = example1_instance()
+        candidate = instance.make_ring({"t4"})
+        assert candidate.tokens == frozenset({"t3", "t4"})
+        assert candidate.c == 2.0
+        assert candidate.ell == 2
+
+    def test_make_ring_seq_after_existing(self):
+        instance = example1_instance()
+        assert instance.make_ring({"t4"}).seq == 2
+
+    def test_unknown_target_rejected(self):
+        universe = TokenUniverse({"a": "h"})
+        with pytest.raises(ValueError):
+            DamsInstance(universe, [], "zz", c=1.0, ell=1)
+
+    def test_invalid_requirement_rejected(self):
+        universe = TokenUniverse({"a": "h"})
+        with pytest.raises(ValueError):
+            DamsInstance(universe, [], "a", c=0, ell=1)
+        with pytest.raises(ValueError):
+            DamsInstance(universe, [], "a", c=1, ell=0)
+
+    def test_related_rings(self):
+        instance = example1_instance()
+        candidate = instance.make_ring({"t1"})
+        assert {r.rid for r in instance.related_rings(candidate)} == {"r1", "r2"}
+        lonely = instance.make_ring({"t4"})
+        assert instance.related_rings(lonely) == []
+
+
+class TestExample1Solutions:
+    """The four solutions the paper walks through in Example 1."""
+
+    def test_good_solution(self):
+        assert is_feasible_exact(example1_instance(), {"t4"})
+
+    def test_homogeneity_attack_solution_rejected(self):
+        assert not is_feasible_exact(example1_instance(), {"t1"})
+
+    def test_chain_reaction_solution_rejected(self):
+        assert not is_feasible_exact(example1_instance(), {"t2"})
+
+    def test_full_universe_ring_eliminates_tokens(self):
+        # {t1..t4}: t1, t2 cannot be consumed in the new ring in any
+        # world (they are taken by r1/r2), so Algorithm 2's ST != r_k
+        # check formally rejects it even though the paper's narrative
+        # calls it "safe but large".
+        assert not is_feasible_exact(example1_instance(), {"t1", "t2", "t4"})
+
+
+class TestConstraintCheckers:
+    def test_diversity_constraint_own_hts(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1"})
+        candidate = ring("new", {"a", "b"}, c=2.0, ell=2)
+        assert not check_diversity_constraint(candidate, [candidate], universe)
+
+    def test_diversity_constraint_passes(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2"})
+        candidate = ring("new", {"a", "b"}, c=2.0, ell=2)
+        assert check_diversity_constraint(candidate, [candidate], universe)
+
+    def test_non_eliminated_detects_cascade(self):
+        r1 = ring("r1", {"a", "b"})
+        r2 = ring("r2", {"a", "b"})
+        r3 = ring("r3", {"b", "c"})
+        assert not check_non_eliminated_constraint([r1, r2, r3])
+
+    def test_non_eliminated_passes_independent(self):
+        r1 = ring("r1", {"a", "b"})
+        r2 = ring("r2", {"c", "d"})
+        assert check_non_eliminated_constraint([r1, r2])
+
+    def test_immutability_ignores_already_broken_rings(self):
+        # r1 requires (1,1) which a 1-HT DTRS can never satisfy; it is
+        # broken with or without the candidate, so it must not veto.
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3", "d": "h4"})
+        r1 = ring("r1", {"a", "b"}, seq=0, c=1.0, ell=1)
+        r2 = ring("r2", {"a", "b"}, seq=1, c=1.0, ell=1)
+        candidate = ring("new", {"c", "d"}, seq=2, c=2.0, ell=2)
+        assert check_immutability_constraint(
+            candidate, [r1, r2, candidate], universe
+        )
+
+    def test_immutability_detects_breakage(self):
+        # Before: r1 = {a, b} alone has no DTRS and satisfies (2, 2).
+        # After new = {b, c}: revealing <b, new> forces r1 -> a, so
+        # {(b, new)} becomes a DTRS of r1 whose token HT multiset [1]
+        # violates (2, 2) (1 >= 2 * 0).  The newcomer broke r1's claim.
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h2", "d": "h3"})
+        r1 = ring("r1", {"a", "b"}, seq=0, c=2.0, ell=2)
+        candidate = ring("new", {"b", "c"}, seq=1, c=2.0, ell=2)
+        assert not check_immutability_constraint(
+            candidate, [r1, candidate], universe
+        )
+
+    def test_immutability_holds_for_disjoint_candidate(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h2", "d": "h3"})
+        r1 = ring("r1", {"a", "b"}, seq=0, c=2.0, ell=2)
+        candidate = ring("new", {"c", "d"}, seq=1, c=2.0, ell=2)
+        assert check_immutability_constraint(candidate, [r1, candidate], universe)

@@ -1,0 +1,93 @@
+"""Unit tests for the Progressive Algorithm (Algorithm 4)."""
+
+import pytest
+
+from repro.core.diversity import ht_counts_satisfy
+from repro.core.modules import ModuleUniverse
+from repro.core.problem import InfeasibleError
+from repro.core.progressive import progressive_select
+from repro.core.ring import TokenUniverse
+
+from helpers import example3_modules
+
+
+class TestPaperExample3:
+    def test_exact_trace(self):
+        # Paper: first while-loop picks s2; second picks s4 (beta_4=1/3
+        # beats beta_1=-1/6); result s2 ∪ s3 ∪ s4, size 9.
+        result = progressive_select(example3_modules(), "t11", c=1.0, ell=4)
+        assert set(result.modules) == {"s:s3", "s:s2", "s:s4"}
+        assert result.size == 9
+
+    def test_result_satisfies_requirement(self):
+        modules = example3_modules()
+        result = progressive_select(modules, "t11", c=1.0, ell=4)
+        counts = modules.universe.ht_counts(result.tokens)
+        assert ht_counts_satisfy(counts, 1.0, 4)
+
+
+class TestGeneralBehaviour:
+    def test_anchor_always_included(self):
+        modules = example3_modules()
+        result = progressive_select(modules, "t7", c=1.0, ell=4)
+        assert "t7" in result.tokens
+        assert result.target_token == "t7"
+
+    def test_fresh_token_anchor(self):
+        universe = TokenUniverse({"a": "h1", "b": "h2", "c": "h3"})
+        modules = ModuleUniverse(universe, [])
+        result = progressive_select(modules, "a", c=2.0, ell=2)
+        assert "a" in result.tokens
+        assert result.size == 2  # a + one other HT's token
+
+    def test_output_is_union_of_modules(self):
+        modules = example3_modules()
+        result = progressive_select(modules, "t11", c=1.0, ell=4)
+        expected = set()
+        for mid in result.modules:
+            module = next(m for m in modules.modules if m.mid == mid)
+            expected |= module.tokens
+        assert result.tokens == frozenset(expected)
+
+    def test_deterministic(self):
+        modules = example3_modules()
+        a = progressive_select(modules, "t11", c=1.0, ell=4)
+        b = progressive_select(modules, "t11", c=1.0, ell=4)
+        assert a.tokens == b.tokens
+        assert a.modules == b.modules
+
+    def test_algorithm_label_and_timing(self):
+        result = progressive_select(example3_modules(), "t11", c=1.0, ell=4)
+        assert result.algorithm == "progressive"
+        assert result.elapsed >= 0
+        assert result.mixins == result.tokens - {"t11"}
+
+
+class TestInfeasibility:
+    def test_not_enough_hts(self):
+        universe = TokenUniverse({"a": "h1", "b": "h1", "c": "h2"})
+        modules = ModuleUniverse(universe, [])
+        with pytest.raises(InfeasibleError):
+            progressive_select(modules, "a", c=1.0, ell=3)
+
+    def test_deficit_cannot_be_repaired(self):
+        # Nine tokens of h1 vs one of h2: (0.1, 2) needs q1 < 0.1 * q2.
+        universe = TokenUniverse(
+            {f"t{i}": "h1" for i in range(9)} | {"x": "h2"}
+        )
+        modules = ModuleUniverse(universe, [])
+        with pytest.raises(InfeasibleError):
+            progressive_select(modules, "t0", c=0.1, ell=2)
+
+
+class TestApproximationQuality:
+    def test_never_smaller_than_ell_requirement(self):
+        modules = example3_modules()
+        result = progressive_select(modules, "t11", c=1.0, ell=4)
+        hts = set(modules.universe.ht_counts(result.tokens))
+        assert len(hts) >= 4
+
+    def test_reasonable_against_universe(self):
+        modules = example3_modules()
+        result = progressive_select(modules, "t11", c=1.0, ell=4)
+        assert result.size < len(modules.universe)

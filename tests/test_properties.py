@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import random
+from collections import Counter
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.combinations import (
+    enumerate_combinations,
+    has_complete_assignment,
+    possible_consumed_tokens,
+)
+from repro.core.diversity import (
+    diversity_deficit,
+    satisfies_recursive_diversity,
+    sorted_frequencies,
+)
+from repro.core.dtrs import get_dtrss
+from repro.core.modules import ModuleUniverse, find_super_rings
+from repro.core.problem import InfeasibleError
+from repro.core.ring import Ring, TokenUniverse, related_ring_set
+from repro.tokenmagic.registry import consumed_closure, neighbor_set_consumed
+
+# -- strategies -----------------------------------------------------------
+
+frequencies = st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=10)
+c_values = st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+ell_values = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def small_ring_systems(draw, max_tokens=7, max_rings=5):
+    """Random ring sets over a small token universe, with HT labels."""
+    token_count = draw(st.integers(min_value=2, max_value=max_tokens))
+    ht_count = draw(st.integers(min_value=1, max_value=token_count))
+    tokens = [f"t{i}" for i in range(token_count)]
+    universe = TokenUniverse(
+        {t: f"h{draw(st.integers(min_value=0, max_value=ht_count - 1))}" for t in tokens}
+    )
+    ring_count = draw(st.integers(min_value=1, max_value=max_rings))
+    rings = []
+    for index in range(ring_count):
+        size = draw(st.integers(min_value=1, max_value=token_count))
+        members = draw(
+            st.sets(st.sampled_from(tokens), min_size=size, max_size=size)
+        )
+        rings.append(Ring(rid=f"r{index}", tokens=frozenset(members), seq=index))
+    return universe, rings
+
+
+# -- diversity ------------------------------------------------------------
+
+
+@given(frequencies, c_values, ell_values)
+def test_deficit_sign_iff_satisfied(freqs, c, ell):
+    freqs = sorted(freqs, reverse=True)
+    assert (diversity_deficit(freqs, c, ell) < 0) == satisfies_recursive_diversity(
+        freqs, c, ell
+    )
+
+
+@given(frequencies, c_values, ell_values)
+def test_diversity_monotone_in_c(freqs, c, ell):
+    freqs = sorted(freqs, reverse=True)
+    if satisfies_recursive_diversity(freqs, c, ell):
+        assert satisfies_recursive_diversity(freqs, c * 2, ell)
+
+
+@given(frequencies, c_values, ell_values)
+def test_diversity_antitone_in_ell(freqs, c, ell):
+    freqs = sorted(freqs, reverse=True)
+    if satisfies_recursive_diversity(freqs, c, ell + 1):
+        assert satisfies_recursive_diversity(freqs, c, ell)
+
+
+@given(frequencies)
+def test_sorted_frequencies_descending(freqs):
+    result = sorted_frequencies(Counter({f"h{i}": f for i, f in enumerate(freqs)}))
+    assert result == sorted(result, reverse=True)
+
+
+@given(frequencies, c_values, ell_values)
+def test_adding_rare_label_never_hurts(freqs, c, ell):
+    # Appending a fresh label with count 1 grows the tail and cannot
+    # turn a satisfied instance into a violated one.
+    freqs = sorted(freqs, reverse=True)
+    if satisfies_recursive_diversity(freqs, c, ell):
+        extended = sorted(freqs + [1], reverse=True)
+        assert satisfies_recursive_diversity(extended, c, ell)
+
+
+# -- combinations ---------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_ring_systems())
+def test_enumeration_agrees_with_matching(system):
+    _, rings = system
+    combos = list(enumerate_combinations(rings, limit=500))
+    if len(combos) < 500:
+        assert has_complete_assignment(rings) == (len(combos) > 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_ring_systems())
+def test_combinations_are_injective(system):
+    _, rings = system
+    for combo in enumerate_combinations(rings, limit=100):
+        assert len(set(combo.values())) == len(combo)
+        for ring in rings:
+            assert combo[ring.rid] in ring.tokens
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_ring_systems())
+def test_possible_tokens_match_enumeration(system):
+    _, rings = system
+    assume(has_complete_assignment(rings))
+    combos = list(enumerate_combinations(rings, limit=1000))
+    assume(len(combos) < 1000)
+    for ring in rings:
+        from_worlds = {combo[ring.rid] for combo in combos}
+        assert possible_consumed_tokens(ring, rings) == frozenset(from_worlds)
+
+
+# -- DTRS -----------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_ring_systems(max_tokens=5, max_rings=3))
+def test_dtrs_minimality_and_soundness(system):
+    universe, rings = system
+    assume(has_complete_assignment(rings))
+    target = rings[0]
+    worlds = list(enumerate_combinations(rings))
+    assume(0 < len(worlds) <= 200)
+    dtrss = get_dtrss(target, rings, universe)
+    for dtrs in dtrss:
+        # Soundness: every world containing the pairs agrees on the HT.
+        for world in worlds:
+            if all(world.get(rid) == token for token, rid in dtrs.pairs):
+                assert universe.ht_of(world[target.rid]) == dtrs.determined_ht
+        # Minimality: no returned DTRS strictly contains another.
+        for other in dtrss:
+            if other is not dtrs:
+                assert not (other.pairs < dtrs.pairs)
+
+
+# -- consumed closure ------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_ring_systems())
+def test_neighbor_rule_under_approximates_closure(system):
+    _, rings = system
+    assume(has_complete_assignment(rings))
+    assert neighbor_set_consumed(rings) <= consumed_closure(rings)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_ring_systems())
+def test_closure_soundness(system):
+    # Every token the closure marks consumed is consumed in every world.
+    _, rings = system
+    assume(has_complete_assignment(rings))
+    combos = list(enumerate_combinations(rings, limit=500))
+    assume(len(combos) < 500)
+    consumed = consumed_closure(rings)
+    for token in consumed:
+        for combo in combos:
+            assert token in combo.values()
+
+
+# -- structure ------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_ring_systems())
+def test_related_set_is_closed(system):
+    _, rings = system
+    target = rings[0]
+    related = related_ring_set(target, rings[1:])
+    related_tokens = set(target.tokens)
+    for ring in related:
+        related_tokens |= ring.tokens
+    for ring in rings[1:]:
+        if ring not in related:
+            assert ring.tokens.isdisjoint(related_tokens)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_ring_systems())
+def test_super_rings_cover_all_ring_tokens(system):
+    universe, rings = system
+    supers = find_super_rings(rings)
+    ring_tokens = set()
+    for ring in rings:
+        ring_tokens |= ring.tokens
+    super_tokens = set()
+    for ring in supers:
+        super_tokens |= ring.tokens
+    assert ring_tokens == super_tokens
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_ring_systems(), st.integers(min_value=0, max_value=1000))
+def test_selectors_output_feasible_or_raise(system, seed):
+    universe, rings = system
+    from repro.core.baselines import smallest_select
+    from repro.core.diversity import ht_counts_satisfy
+    from repro.core.game import game_select
+    from repro.core.progressive import progressive_select
+
+    modules = ModuleUniverse(universe, rings)
+    target = sorted(universe.tokens)[seed % len(universe.tokens)]
+    for select in (progressive_select, game_select, smallest_select):
+        try:
+            result = select(modules, target, c=1.5, ell=2, rng=random.Random(seed))
+        except InfeasibleError:
+            continue
+        assert target in result.tokens
+        assert ht_counts_satisfy(universe.ht_counts(result.tokens), 1.5, 2)

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) over the crypto substrate.
+
+These are slower than the core properties, so example counts are kept
+modest; each property still covers the full input space shape.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.commitment import commit, commitments_balance
+from repro.crypto.ed25519 import (
+    G,
+    IDENTITY,
+    L,
+    compress,
+    decompress,
+    multi_scalar_mult,
+    point_add,
+    scalar_mult,
+)
+from repro.crypto.keys import keypair_from_seed
+from repro.crypto.lsag import is_linked, sign, verify
+from repro.crypto.mlsag import mlsag_sign, mlsag_verify
+from repro.crypto.stealth import make_receiver, pay_to_address
+
+scalars = st.integers(min_value=0, max_value=L - 1)
+small_scalars = st.integers(min_value=0, max_value=2**64)
+
+
+class TestGroupProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(small_scalars, small_scalars)
+    def test_scalar_mult_is_homomorphic(self, a, b):
+        left = scalar_mult((a + b) % L, G)
+        right = point_add(scalar_mult(a, G), scalar_mult(b, G))
+        assert left == right
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_scalars)
+    def test_compress_round_trip(self, k):
+        point = scalar_mult(k, G)
+        assert decompress(compress(point)) == point
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_scalars, small_scalars, small_scalars)
+    def test_multi_scalar_matches_naive(self, a, b, c):
+        p = scalar_mult(7, G)
+        q = scalar_mult(11, G)
+        expected = point_add(
+            point_add(scalar_mult(a, G), scalar_mult(b, p)), scalar_mult(c, q)
+        )
+        assert multi_scalar_mult([(a, G), (b, p), (c, q)]) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_scalars)
+    def test_order_divides_out(self, k):
+        assert scalar_mult(k * L, G) == IDENTITY
+
+
+class TestCommitmentProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_split_always_balances(self, amount_a, amount_b):
+        total, b0 = commit(amount_a + amount_b)
+        out_a, b1 = commit(amount_a)
+        out_b, b2 = commit(amount_b)
+        assert commitments_balance([total], [out_a, out_b], (b0 - b1 - b2) % L)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=2**32),
+    )
+    def test_imbalance_always_detected(self, amount, extra):
+        incoming, b0 = commit(amount)
+        outgoing, b1 = commit(amount + extra)
+        assert not commitments_balance([incoming], [outgoing], (b0 - b1) % L)
+
+
+class TestRingSignatureProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=4),
+        st.binary(min_size=0, max_size=64),
+    )
+    def test_sign_verify_any_position(self, size, position, message):
+        position %= size
+        signer = keypair_from_seed("prop-signer")
+        ring = [keypair_from_seed(f"prop-decoy-{i}").public for i in range(size - 1)]
+        ring.insert(position, signer.public)
+        proof = sign(message, ring, signer)
+        assert verify(message, proof)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.binary(min_size=1, max_size=32), st.binary(min_size=1, max_size=32))
+    def test_linkability_is_key_based(self, msg_a, msg_b):
+        signer = keypair_from_seed("prop-link")
+        ring = [signer.public] + [
+            keypair_from_seed(f"prop-l{i}").public for i in range(2)
+        ]
+        assert is_linked(sign(msg_a, ring, signer), sign(msg_b, ring, signer))
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=1, max_value=3))
+    def test_mlsag_round_trip(self, columns, layers):
+        signers = [keypair_from_seed(f"prop-ml{k}") for k in range(layers)]
+        ring = []
+        for j in range(columns):
+            if j == columns - 1:
+                ring.append([kp.public for kp in signers])
+            else:
+                ring.append(
+                    [keypair_from_seed(f"prop-md{j}-{k}").public for k in range(layers)]
+                )
+        proof = mlsag_sign(b"prop", ring, signers)
+        assert mlsag_verify(b"prop", proof)
+
+
+class TestStealthProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.text(min_size=1, max_size=12), st.integers(min_value=0, max_value=7))
+    def test_owner_scans_stranger_does_not(self, seed, index):
+        owner = make_receiver(seed=f"owner-{seed}")
+        stranger = make_receiver(seed=f"stranger-{seed}")
+        output, _ = pay_to_address(owner.address, output_index=index)
+        assert owner.scan(output) is not None
+        assert stranger.scan(output) is None
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.text(min_size=1, max_size=12))
+    def test_recovered_key_controls_output(self, seed):
+        owner = make_receiver(seed=seed)
+        output, _ = pay_to_address(owner.address, output_index=0)
+        keypair = owner.scan(output)
+        assert keypair is not None
+        assert keypair.public.point == output.one_time_key.point

@@ -1,0 +1,103 @@
+"""Unit tests for the batch registry: Theorem 4.1 closure and eta rule."""
+
+import pytest
+
+from repro.core.ring import Ring, TokenUniverse
+from repro.tokenmagic.batch import Batch
+from repro.tokenmagic.registry import BatchRegistry, ReserveViolation, consumed_closure
+
+
+def make_ring(rid, tokens, seq=0):
+    return Ring(rid=rid, tokens=frozenset(tokens), seq=seq)
+
+
+def make_batch(token_to_ht, complete=True):
+    return Batch(
+        index=0,
+        first_height=0,
+        last_height=0,
+        universe=TokenUniverse(token_to_ht),
+        complete=complete,
+    )
+
+
+class TestConsumedClosure:
+    def test_theorem41_base_case(self):
+        # Two rings over the same two tokens: both tokens consumed.
+        rings = [make_ring("r1", {"a", "b"}), make_ring("r2", {"a", "b"})]
+        assert consumed_closure(rings) == frozenset({"a", "b"})
+
+    def test_three_ring_group(self):
+        rings = [
+            make_ring("r1", {"a", "b"}),
+            make_ring("r2", {"b", "c"}),
+            make_ring("r3", {"a", "c"}),
+        ]
+        assert consumed_closure(rings) == frozenset({"a", "b", "c"})
+
+    def test_no_inference_when_slack(self):
+        rings = [make_ring("r1", {"a", "b"}), make_ring("r2", {"b", "c"})]
+        assert consumed_closure(rings) == frozenset()
+
+    def test_singleton_ring_consumed(self):
+        rings = [make_ring("r1", {"a"})]
+        assert consumed_closure(rings) == frozenset({"a"})
+
+    def test_empty_ring_set(self):
+        assert consumed_closure([]) == frozenset()
+
+    def test_partial_group_in_larger_population(self):
+        rings = [
+            make_ring("r1", {"a", "b"}),
+            make_ring("r2", {"a", "b"}),
+            make_ring("r3", {"c", "d", "e"}),
+        ]
+        assert consumed_closure(rings) == frozenset({"a", "b"})
+
+
+class TestReserveRule:
+    def test_reserve_allows_under_threshold(self):
+        batch = make_batch({t: f"h{t}" for t in "abcdef"})
+        registry = BatchRegistry(batch=batch, eta=0.1)
+        registry.admit(make_ring("r1", {"a", "b", "c"}))
+        assert len(registry.rings) == 1
+
+    def test_reserve_blocks_exhaustion(self):
+        # eta = 1 demands i - mu >= |T| - i; a pair of mutually
+        # determining rings (mu = 2, i = 2) over 4 tokens fails:
+        # 0 >= 2 is false.
+        batch = make_batch({t: f"h{t}" for t in "abcd"})
+        registry = BatchRegistry(batch=batch, eta=1.0)
+        registry.rings.append(make_ring("r1", {"a", "b"}))
+        with pytest.raises(ReserveViolation):
+            registry.admit(make_ring("r2", {"a", "b"}))
+
+    def test_eta_zero_disables_rule(self):
+        batch = make_batch({t: f"h{t}" for t in "ab"})
+        registry = BatchRegistry(batch=batch, eta=0.0)
+        registry.admit(make_ring("r1", {"a", "b"}))
+        registry.admit(make_ring("r2", {"a", "b"}))
+        assert len(registry.rings) == 2
+
+    def test_out_of_batch_token_rejected(self):
+        batch = make_batch({"a": "h1"})
+        registry = BatchRegistry(batch=batch)
+        with pytest.raises(KeyError):
+            registry.admit(make_ring("r1", {"a", "zz"}))
+
+    def test_incomplete_batch_uses_effective_lambda(self):
+        batch = make_batch({"a": "h1", "b": "h2"}, complete=False)
+        registry = BatchRegistry(batch=batch, eta=0.5, lambda_effective=9)
+        assert registry.universe_size == 9
+
+    def test_complete_batch_uses_true_size(self):
+        batch = make_batch({"a": "h1", "b": "h2"}, complete=True)
+        registry = BatchRegistry(batch=batch, eta=0.5, lambda_effective=9)
+        assert registry.universe_size == 2
+
+    def test_consumed_tokens_view(self):
+        batch = make_batch({t: f"h{t}" for t in "abcd"})
+        registry = BatchRegistry(batch=batch)
+        registry.admit(make_ring("r1", {"a", "b"}))
+        registry.admit(make_ring("r2", {"a", "b"}))
+        assert registry.consumed_tokens() == frozenset({"a", "b"})

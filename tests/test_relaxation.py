@@ -1,0 +1,109 @@
+"""Unit tests for the requirement-relaxation policy (Section 4)."""
+
+import pytest
+
+from repro.core.modules import ModuleUniverse
+from repro.core.problem import InfeasibleError
+from repro.core.relaxation import (
+    relaxation_schedule,
+    select_with_relaxation,
+)
+from repro.core.ring import TokenUniverse
+
+
+class TestSchedule:
+    def test_level_zero_is_original(self):
+        steps = list(relaxation_schedule(0.6, 5, max_level=4))
+        assert steps[0].c == 0.6
+        assert steps[0].ell == 5
+        assert steps[0].is_original
+
+    def test_alternates_c_and_ell(self):
+        steps = list(relaxation_schedule(1.0, 5, c_factor=2.0, max_level=4))
+        assert steps[1].c == 2.0 and steps[1].ell == 5
+        assert steps[2].c == 2.0 and steps[2].ell == 4
+        assert steps[3].c == 4.0 and steps[3].ell == 4
+
+    def test_ell_floors_at_one(self):
+        steps = list(relaxation_schedule(1.0, 1, max_level=6))
+        assert all(step.ell >= 1 for step in steps)
+
+    def test_monotone_weakening(self):
+        steps = list(relaxation_schedule(0.5, 6, max_level=8))
+        for earlier, later in zip(steps, steps[1:]):
+            assert later.c >= earlier.c
+            assert later.ell <= earlier.ell
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            list(relaxation_schedule(0, 3))
+        with pytest.raises(ValueError):
+            list(relaxation_schedule(1.0, 3, c_factor=1.0))
+
+
+class TestSelectWithRelaxation:
+    def setup_method(self):
+        # Two HTs only: l >= 3 is unsatisfiable, l = 2 needs c > 1.
+        self.universe = TokenUniverse(
+            {"a": "h1", "b": "h2", "c": "h1", "d": "h2"}
+        )
+        self.modules = ModuleUniverse(self.universe, [])
+
+    def test_no_relaxation_when_feasible(self):
+        result, step = select_with_relaxation(
+            self.modules, "a", c=2.0, ell=2, algorithm="progressive"
+        )
+        assert step.is_original
+        assert "a" in result.tokens
+
+    def test_relaxes_until_feasible(self):
+        # l = 3 impossible (2 HTs); the ladder must drop l.
+        result, step = select_with_relaxation(
+            self.modules, "a", c=2.0, ell=3, algorithm="progressive"
+        )
+        assert step.level > 0
+        assert step.ell <= 2
+        assert "a" in result.tokens
+
+    def test_exhausted_schedule_raises(self):
+        homogeneous = ModuleUniverse(
+            TokenUniverse({"x": "h1", "y": "h1"}), []
+        )
+        with pytest.raises(InfeasibleError):
+            select_with_relaxation(
+                homogeneous, "x", c=0.5, ell=2, max_level=2,
+            )
+
+    def test_max_size_keeps_relaxing(self):
+        # A strict size wish keeps walking the ladder; (1.5, 2) yields
+        # a 2-token ring, so max_size=1 forces relaxing down to l=1
+        # where a degenerate single-token ring satisfies the wish.
+        result, step = select_with_relaxation(
+            self.modules, "a", c=1.5, ell=2, max_size=1
+        )
+        assert result.size == 1
+        assert step.level > 0
+        assert step.ell == 1
+
+    def test_oversized_fallback_when_wish_impossible(self):
+        # With the ladder capped before l can drop to 1, every rung
+        # keeps l = 2 and yields 2-token rings; the size-1 wish is
+        # unattainable, so the best oversized ring comes back.
+        result, step = select_with_relaxation(
+            self.modules,
+            "a",
+            c=1.5,
+            ell=2,
+            max_size=1,
+            max_level=1,
+        )
+        assert result.size == 2
+        assert step.ell == 2
+
+    def test_selector_object_accepted(self):
+        from repro.core.progressive import progressive_select
+
+        result, step = select_with_relaxation(
+            self.modules, "a", c=2.0, ell=2, algorithm=progressive_select
+        )
+        assert "a" in result.tokens

@@ -1,0 +1,139 @@
+"""Unit tests for the Ring / TokenUniverse / related-set data model."""
+
+import pytest
+
+from repro.core.ring import Ring, RingSet, TokenUniverse, related_ring_set
+
+
+def ring(rid, tokens, seq=0, c=1.0, ell=1):
+    return Ring(rid=rid, tokens=frozenset(tokens), c=c, ell=ell, seq=seq)
+
+
+class TestRing:
+    def test_basic_properties(self):
+        r = ring("r1", {"a", "b"})
+        assert len(r) == 2
+        assert "a" in r
+        assert "z" not in r
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            Ring(rid="r", tokens=frozenset())
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            ring("r", {"a"}, c=0)
+
+    def test_invalid_ell_rejected(self):
+        with pytest.raises(ValueError):
+            ring("r", {"a"}, ell=0)
+
+    def test_intersects(self):
+        assert ring("r1", {"a", "b"}).intersects(ring("r2", {"b", "c"}))
+        assert not ring("r1", {"a"}).intersects(ring("r2", {"b"}))
+
+    def test_rings_hashable_and_frozen(self):
+        r = ring("r1", {"a"})
+        with pytest.raises(AttributeError):
+            r.rid = "r2"
+
+
+class TestTokenUniverse:
+    def test_add_and_lookup(self):
+        u = TokenUniverse()
+        u.add("t1", "h1")
+        assert u.ht_of("t1") == "h1"
+        assert "t1" in u
+        assert len(u) == 1
+
+    def test_construction_from_mapping(self):
+        u = TokenUniverse({"t1": "h1", "t2": "h1"})
+        assert u.tokens_of_ht("h1") == frozenset({"t1", "t2"})
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(KeyError):
+            TokenUniverse().ht_of("nope")
+
+    def test_conflicting_registration_rejected(self):
+        u = TokenUniverse({"t1": "h1"})
+        with pytest.raises(ValueError):
+            u.add("t1", "h2")
+
+    def test_idempotent_registration_allowed(self):
+        u = TokenUniverse({"t1": "h1"})
+        u.add("t1", "h1")
+        assert len(u) == 1
+
+    def test_ht_counts(self):
+        u = TokenUniverse({"t1": "h1", "t2": "h1", "t3": "h2"})
+        counts = u.ht_counts(["t1", "t2", "t3"])
+        assert counts == {"h1": 2, "h2": 1}
+
+    def test_hts_property(self):
+        u = TokenUniverse({"t1": "h1", "t2": "h2"})
+        assert u.hts == frozenset({"h1", "h2"})
+
+    def test_restricted_to(self):
+        u = TokenUniverse({"t1": "h1", "t2": "h2", "t3": "h3"})
+        sub = u.restricted_to({"t1", "t3"})
+        assert sub.tokens == frozenset({"t1", "t3"})
+        assert sub.ht_of("t3") == "h3"
+
+    def test_iteration(self):
+        u = TokenUniverse({"t1": "h1", "t2": "h2"})
+        assert sorted(u) == ["t1", "t2"]
+
+
+class TestRingSet:
+    def test_add_and_index(self):
+        rs = RingSet()
+        r1 = ring("r1", {"a", "b"})
+        rs.add(r1)
+        assert rs.rings_containing("a") == [r1]
+        assert rs.rings_containing("z") == []
+        assert len(rs) == 1
+
+    def test_construction_from_list(self):
+        r1, r2 = ring("r1", {"a"}), ring("r2", {"a", "b"})
+        rs = RingSet([r1, r2])
+        assert len(rs.rings_containing("a")) == 2
+
+    def test_tokens_in_rings(self):
+        rs = RingSet([ring("r1", {"a", "b"}), ring("r2", {"c"})])
+        assert rs.tokens_in_rings() == frozenset({"a", "b", "c"})
+
+    def test_iteration_preserves_order(self):
+        rings = [ring(f"r{i}", {f"t{i}"}) for i in range(5)]
+        rs = RingSet(rings)
+        assert list(rs) == rings
+
+
+class TestRelatedRingSet:
+    def test_paper_example_2(self):
+        # Example 2: r4's related set is {r1, r2, r3, r5}.
+        r1 = ring("r1", {"t1", "t2", "t5"}, seq=0)
+        r2 = ring("r2", {"t1", "t3"}, seq=1)
+        r3 = ring("r3", {"t1", "t3"}, seq=2)
+        r4 = ring("r4", {"t2", "t4"}, seq=3)
+        r5 = ring("r5", {"t4", "t5", "t6"}, seq=4)
+        related = related_ring_set(r4, [r1, r2, r3, r5])
+        assert [r.rid for r in related] == ["r1", "r2", "r3", "r5"]
+
+    def test_disjoint_rings_excluded(self):
+        r1 = ring("r1", {"a", "b"})
+        far = ring("far", {"x", "y"})
+        assert related_ring_set(ring("new", {"a", "z"}), [r1, far]) == [r1]
+
+    def test_transitive_closure(self):
+        r1 = ring("r1", {"a", "b"})
+        r2 = ring("r2", {"b", "c"})
+        r3 = ring("r3", {"c", "d"})
+        related = related_ring_set(frozenset({"a"}), [r1, r2, r3])
+        assert [r.rid for r in related] == ["r1", "r2", "r3"]
+
+    def test_accepts_bare_token_set(self):
+        r1 = ring("r1", {"a"})
+        assert related_ring_set(frozenset({"a"}), [r1]) == [r1]
+
+    def test_empty_pool(self):
+        assert related_ring_set(frozenset({"a"}), []) == []

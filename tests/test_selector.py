@@ -1,0 +1,55 @@
+"""Unit tests for the shared selector interface and result type."""
+
+import pytest
+
+from repro.core.selector import (
+    SELECTORS,
+    SelectionResult,
+    get_selector,
+    register_selector,
+)
+
+
+class TestSelectionResult:
+    def test_size_and_mixins(self):
+        result = SelectionResult(
+            tokens=frozenset({"a", "b", "c"}),
+            target_token="a",
+        )
+        assert result.size == 3
+        assert result.mixins == frozenset({"b", "c"})
+
+    def test_defaults(self):
+        result = SelectionResult(tokens=frozenset({"x"}), target_token="x")
+        assert result.modules == ()
+        assert result.elapsed == 0.0
+        assert result.algorithm == ""
+
+    def test_frozen(self):
+        result = SelectionResult(tokens=frozenset({"x"}), target_token="x")
+        with pytest.raises((AttributeError, TypeError)):
+            result.tokens = frozenset({"y"})
+
+
+class TestRegistry:
+    def test_builtin_selectors_present(self):
+        for name in ("progressive", "game", "smallest", "random"):
+            assert name in SELECTORS
+
+    def test_register_and_lookup(self):
+        @register_selector("test-only-selector")
+        def fake(modules, target_token, c, ell, rng=None):
+            return SelectionResult(
+                tokens=frozenset({target_token}), target_token=target_token
+            )
+
+        try:
+            assert get_selector("test-only-selector") is fake
+        finally:
+            del SELECTORS["test-only-selector"]
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_selector("nope")
+        message = str(excinfo.value)
+        assert "game" in message and "progressive" in message

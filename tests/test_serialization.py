@@ -1,0 +1,108 @@
+"""Round-trip tests for chain serialization."""
+
+import json
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.serialization import (
+    block_from_dict,
+    block_to_dict,
+    chain_from_json,
+    chain_to_json,
+    transaction_from_dict,
+    transaction_to_dict,
+)
+from repro.chain.transaction import RingInput, Transaction
+from repro.chain.wallet import Wallet
+from repro.crypto.keys import keypair_from_seed
+
+
+def signed_chain():
+    """A chain with a coinbase and one fully signed spend."""
+    chain = Blockchain(verify_signatures=True)
+    wallet = Wallet(name="serializer")
+    keypairs = [wallet.derive_keypair() for _ in range(4)]
+    txs = [Transaction(inputs=(), output_count=2, nonce=i) for i in range(2)]
+    chain.append_block(chain.make_block(txs, timestamp=1.0))
+    flat = []
+    for index, tx in enumerate(txs):
+        outs = tx.make_outputs(
+            owners=[kp.public for kp in keypairs[index * 2 : index * 2 + 2]]
+        )
+        chain.register_owned_outputs(outs)
+        flat.extend(outs)
+    for output, keypair in zip(flat, keypairs):
+        wallet.claim_output(output, keypair)
+    plan = wallet.plan_spend(chain, wallet.owned_tokens()[0], c=2.0, ell=2)
+    spend = wallet.sign_spend(chain, plan)
+    chain.append_block(chain.make_block([spend], timestamp=2.0))
+    return chain
+
+
+class TestTransactionRoundTrip:
+    def test_plain_transaction(self):
+        tx = Transaction(inputs=(), output_count=3, nonce=9)
+        restored = transaction_from_dict(transaction_to_dict(tx))
+        assert restored.tx_id == tx.tx_id
+
+    def test_ring_input_with_key_image(self):
+        keypair = keypair_from_seed("k")
+        tx = Transaction(
+            inputs=(
+                RingInput(
+                    ring_tokens=("a", "b"),
+                    key_image=keypair.key_image(),
+                    claimed_c=1.5,
+                    claimed_ell=2,
+                ),
+            ),
+            output_count=1,
+        )
+        restored = transaction_from_dict(transaction_to_dict(tx))
+        assert restored.tx_id == tx.tx_id
+        assert restored.inputs[0].key_image == keypair.key_image()
+        assert restored.inputs[0].claimed_c == 1.5
+
+
+class TestBlockRoundTrip:
+    def test_block_hash_preserved(self):
+        chain = Blockchain(verify_signatures=False)
+        tx = Transaction(inputs=(), output_count=2)
+        block = chain.make_block([tx], timestamp=5.0)
+        restored = block_from_dict(block_to_dict(block))
+        assert restored.block_hash == block.block_hash
+
+
+class TestChainRoundTrip:
+    def test_full_chain_with_proofs(self):
+        chain = signed_chain()
+        document = chain_to_json(chain)
+        restored = chain_from_json(document, verify_signatures=True)
+        assert restored.height == chain.height
+        assert restored.tip_hash == chain.tip_hash
+        assert restored.universe.tokens == chain.universe.tokens
+        assert [r.tokens for r in restored.rings] == [
+            r.tokens for r in chain.rings
+        ]
+
+    def test_restore_revalidates(self):
+        chain = signed_chain()
+        payload = json.loads(chain_to_json(chain))
+        # Tamper: flip the spend's claimed output count.
+        payload["blocks"][1]["transactions"][0]["output_count"] += 1
+        from repro.chain.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            chain_from_json(json.dumps(payload), verify_signatures=True)
+
+    def test_unsupported_version_rejected(self):
+        chain = signed_chain()
+        payload = json.loads(chain_to_json(chain))
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            chain_from_json(json.dumps(payload))
+
+    def test_pretty_printing(self):
+        chain = signed_chain()
+        assert "\n" in chain_to_json(chain, indent=2)

@@ -1,0 +1,90 @@
+"""Tests for the longitudinal economy simulation."""
+
+import pytest
+
+from repro.sim import Economy, EconomyConfig
+
+
+class TestEconomyBasics:
+    def test_single_tick(self):
+        economy = Economy(EconomyConfig(seed=1))
+        report = economy.tick()
+        assert report.tick == 0
+        assert report.minted_tokens == 6
+        assert report.attempted_spends <= 2
+
+    def test_run_many_ticks(self):
+        economy = Economy(EconomyConfig(seed=1))
+        reports = economy.run(5)
+        assert [r.tick for r in reports] == list(range(5))
+        assert economy.chain.height == 10  # mint block + mined block per tick
+
+    def test_rings_accumulate_once_each(self):
+        economy = Economy(EconomyConfig(seed=1))
+        reports = economy.run(6)
+        total_spends = sum(r.successful_spends for r in reports)
+        assert len(list(economy.chain.rings)) == total_spends
+
+    def test_no_deanonymization_under_diversity_policy(self):
+        economy = Economy(EconomyConfig(seed=2, ell=3))
+        economy.run(6)
+        assert economy.deanonymization_rate() == 0.0
+
+    def test_anonymity_metrics_available(self):
+        economy = Economy(EconomyConfig(seed=3))
+        economy.run(4)
+        metrics = economy.anonymity()
+        assert metrics is not None
+        assert metrics.ring_count > 0
+        assert metrics.mean_effective_size > 1
+
+    def test_empty_economy_metrics(self):
+        economy = Economy(EconomyConfig(seed=0, spends_per_tick=0))
+        economy.tick()
+        assert economy.anonymity() is None
+        assert economy.deanonymization_rate() == 0.0
+
+    def test_deterministic_per_seed(self):
+        a = Economy(EconomyConfig(seed=7))
+        b = Economy(EconomyConfig(seed=7))
+        reports_a = a.run(4)
+        reports_b = b.run(4)
+        assert reports_a == reports_b
+
+    def test_double_spend_guard_live(self):
+        # The sim attaches real key images; a target is never spent twice.
+        economy = Economy(EconomyConfig(seed=4))
+        economy.run(8)
+        rings = list(economy.chain.rings)
+        assert len(rings) == len({r.rid for r in rings})
+
+
+class TestPolicies:
+    def test_game_policy_produces_smaller_or_equal_rings(self):
+        progressive = Economy(EconomyConfig(seed=5, algorithm="progressive"))
+        game = Economy(EconomyConfig(seed=5, algorithm="game"))
+        progressive.run(6)
+        game.run(6)
+        mean_p = _mean_ring_size(progressive)
+        mean_g = _mean_ring_size(game)
+        assert mean_g <= mean_p + 0.5
+
+    def test_relaxation_disabled_drops_spends(self):
+        strict = Economy(
+            EconomyConfig(seed=6, ell=5, relax_on_failure=False)
+        )
+        relaxed = Economy(
+            EconomyConfig(seed=6, ell=5, relax_on_failure=True)
+        )
+        strict.run(3)
+        relaxed.run(3)
+        strict_ok = sum(r.successful_spends for r in strict.reports)
+        relaxed_ok = sum(r.successful_spends for r in relaxed.reports)
+        assert relaxed_ok >= strict_ok
+
+
+def _mean_ring_size(economy: Economy) -> float:
+    rings = list(economy.chain.rings)
+    if not rings:
+        return 0.0
+    return sum(len(r) for r in rings) / len(rings)

@@ -1,0 +1,77 @@
+"""Unit tests for stealth addresses (one-time outputs + scanning)."""
+
+from repro.crypto.lsag import sign, verify
+from repro.crypto.stealth import make_receiver, pay_to_address
+
+
+class TestPaymentScan:
+    def test_receiver_finds_own_output(self):
+        receiver = make_receiver(seed="alice")
+        output, _ = pay_to_address(receiver.address, output_index=0)
+        keypair = receiver.scan(output)
+        assert keypair is not None
+        assert keypair.public.point == output.one_time_key.point
+
+    def test_stranger_does_not_match(self):
+        alice = make_receiver(seed="alice")
+        bob = make_receiver(seed="bob")
+        output, _ = pay_to_address(alice.address, output_index=0)
+        assert bob.scan(output) is None
+
+    def test_outputs_unlinkable(self):
+        # Two payments to the same address yield different one-time keys.
+        receiver = make_receiver(seed="alice")
+        out_a, _ = pay_to_address(receiver.address, output_index=0)
+        out_b, _ = pay_to_address(receiver.address, output_index=0)
+        assert out_a.one_time_key.point != out_b.one_time_key.point
+
+    def test_shared_tx_key_across_outputs(self):
+        receiver = make_receiver(seed="alice")
+        out_0, r = pay_to_address(receiver.address, output_index=0)
+        out_1, r2 = pay_to_address(receiver.address, output_index=1, tx_private_key=r)
+        assert r == r2
+        assert out_0.tx_public_key == out_1.tx_public_key
+        assert out_0.one_time_key.point != out_1.one_time_key.point
+        assert receiver.scan(out_0) is not None
+        assert receiver.scan(out_1) is not None
+
+    def test_wrong_index_does_not_scan(self):
+        from repro.crypto.stealth import OneTimeOutput
+
+        receiver = make_receiver(seed="alice")
+        output, _ = pay_to_address(receiver.address, output_index=0)
+        shifted = OneTimeOutput(
+            one_time_key=output.one_time_key,
+            tx_public_key=output.tx_public_key,
+            output_index=1,
+        )
+        assert receiver.scan(shifted) is None
+
+
+class TestRecoveredKeySigns:
+    def test_scanned_keypair_works_in_ring_signature(self):
+        receiver = make_receiver(seed="alice")
+        output, _ = pay_to_address(receiver.address, output_index=0)
+        keypair = receiver.scan(output)
+        assert keypair is not None
+        decoys = [make_receiver(seed=f"d{i}") for i in range(3)]
+        ring = []
+        for decoy in decoys:
+            decoy_out, _ = pay_to_address(decoy.address, output_index=0)
+            ring.append(decoy_out.one_time_key)
+        ring.append(keypair.public)
+        proof = sign(b"spend it", ring, keypair)
+        assert verify(b"spend it", proof)
+
+
+class TestDeterminism:
+    def test_seeded_receiver_is_deterministic(self):
+        a = make_receiver(seed="carol")
+        b = make_receiver(seed="carol")
+        assert a.address.encode() == b.address.encode()
+
+    def test_unseeded_receivers_differ(self):
+        assert make_receiver().address.encode() != make_receiver().address.encode()
+
+    def test_address_encoding_length(self):
+        assert len(make_receiver(seed="x").address.encode()) == 64

@@ -1,0 +1,73 @@
+"""Tests for temporal anonymity tracking."""
+
+from repro.analysis.temporal import anonymity_timeline, erosion_events
+from repro.core.ring import Ring
+
+
+def ring(rid, tokens, seq=0):
+    return Ring(rid=rid, tokens=frozenset(tokens), seq=seq)
+
+
+class TestTimeline:
+    def test_single_ring_full_anonymity(self):
+        rings = [ring("r1", {"a", "b", "c"})]
+        timeline = anonymity_timeline(rings)
+        assert len(timeline) == 1
+        assert timeline[0].effective_size == 3
+
+    def test_points_per_prefix(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"c", "d"})]
+        timeline = anonymity_timeline(rings)
+        # Step 1 measures 1 ring, step 2 measures both: 3 points.
+        assert len(timeline) == 3
+        assert [p.step for p in timeline] == [1, 2, 2]
+
+    def test_disjoint_rings_never_degrade(self):
+        rings = [ring("r1", {"a", "b"}), ring("r2", {"c", "d"})]
+        timeline = anonymity_timeline(rings)
+        assert all(p.effective_size == 2 for p in timeline)
+
+    def test_empty_sequence(self):
+        assert anonymity_timeline([]) == []
+
+
+class TestErosion:
+    def test_duplicate_ring_causes_cascade_on_third(self):
+        # r1 = r2 = {a, b}; r3 = {b, c} loses b the moment it appears,
+        # and r3 itself is the victim of the world it entered — but the
+        # earlier rings r1/r2 are not eroded (still {a, b} each).
+        rings = [
+            ring("r1", {"a", "b"}, seq=0),
+            ring("r2", {"a", "b"}, seq=1),
+            ring("r3", {"b", "c"}, seq=2),
+        ]
+        events = erosion_events(rings)
+        victims = {e.victim_rid for e in events}
+        assert "r3" not in victims  # r3 is the newcomer, not a victim
+        assert not victims  # r1 and r2 keep both possibilities
+
+    def test_side_channel_erosion_detected(self):
+        # r1 = {a, b}; then r2 = {a} (a is provably spent by r2), so
+        # r1 collapses to {b}.
+        rings = [ring("r1", {"a", "b"}, seq=0), ring("r2", {"a"}, seq=1)]
+        events = erosion_events(rings)
+        assert len(events) == 1
+        event = events[0]
+        assert event.culprit_rid == "r2"
+        assert event.victim_rid == "r1"
+        assert event.before == 2
+        assert event.after == 1
+        assert event.fully_deanonymized
+
+    def test_config1_sequences_produce_no_erosion(self):
+        # Superset-or-disjoint proposals never erode earlier rings
+        # (Theorem 6.3 empirically).
+        rings = [
+            ring("r1", {"a", "b"}, seq=0),
+            ring("r2", {"a", "b", "c"}, seq=1),
+            ring("r3", {"d", "e"}, seq=2),
+        ]
+        assert erosion_events(rings) == []
+
+    def test_no_events_for_single_ring(self):
+        assert erosion_events([ring("r1", {"a", "b"})]) == []

@@ -1,0 +1,103 @@
+"""Unit tests for transactions and ring inputs."""
+
+import pytest
+
+from repro.chain.token import TokenOutput
+from repro.chain.transaction import FEE_PER_MIXIN, RingInput, Transaction
+
+
+class TestRingInput:
+    def test_canonical_sorted_form_required(self):
+        with pytest.raises(ValueError):
+            RingInput(ring_tokens=("b", "a"))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            RingInput(ring_tokens=("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RingInput(ring_tokens=())
+
+    def test_mixin_count(self):
+        ring = RingInput(ring_tokens=("a", "b", "c"))
+        assert ring.mixin_count == 2
+
+    def test_token_set(self):
+        ring = RingInput(ring_tokens=("a", "b"))
+        assert ring.token_set() == frozenset({"a", "b"})
+
+    def test_diversity_claim_defaults(self):
+        ring = RingInput(ring_tokens=("a",))
+        assert ring.claimed_c == 1.0
+        assert ring.claimed_ell == 1
+
+
+class TestTransaction:
+    def test_id_is_deterministic(self):
+        tx1 = Transaction(inputs=(), output_count=2, nonce=7)
+        tx2 = Transaction(inputs=(), output_count=2, nonce=7)
+        assert tx1.tx_id == tx2.tx_id
+
+    def test_id_depends_on_content(self):
+        base = Transaction(inputs=(), output_count=2, nonce=0)
+        other_nonce = Transaction(inputs=(), output_count=2, nonce=1)
+        other_outputs = Transaction(inputs=(), output_count=3, nonce=0)
+        assert base.tx_id != other_nonce.tx_id
+        assert base.tx_id != other_outputs.tx_id
+
+    def test_id_depends_on_rings(self):
+        tx_a = Transaction(
+            inputs=(RingInput(ring_tokens=("a", "b")),), output_count=1
+        )
+        tx_b = Transaction(
+            inputs=(RingInput(ring_tokens=("a", "c")),), output_count=1
+        )
+        assert tx_a.tx_id != tx_b.tx_id
+
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(inputs=(), output_count=0)
+
+    def test_negative_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(inputs=(), output_count=-1)
+
+    def test_fee_proportional_to_mixins(self):
+        tx = Transaction(
+            inputs=(
+                RingInput(ring_tokens=("a", "b", "c")),
+                RingInput(ring_tokens=("d", "e")),
+            ),
+            output_count=1,
+        )
+        assert tx.fee == FEE_PER_MIXIN * 3
+
+    def test_coinbase_has_zero_fee(self):
+        tx = Transaction(inputs=(), output_count=2)
+        assert tx.fee == 0
+
+    def test_make_outputs(self):
+        tx = Transaction(inputs=(), output_count=3)
+        outputs = tx.make_outputs()
+        assert len(outputs) == 3
+        assert [o.index for o in outputs] == [0, 1, 2]
+        assert all(o.origin_tx == tx.tx_id for o in outputs)
+        assert outputs[0].token_id == f"{tx.tx_id}:0"
+
+    def test_make_outputs_deterministic(self):
+        tx = Transaction(inputs=(), output_count=2)
+        assert tx.make_outputs() == tx.make_outputs()
+
+
+class TestTokenOutput:
+    def test_make_id(self):
+        assert TokenOutput.make_id("abc", 4) == "abc:4"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            TokenOutput(token_id="x:0", origin_tx="x", index=-1)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            TokenOutput(token_id="", origin_tx="x", index=0)

@@ -1,0 +1,103 @@
+"""Unit tests for the wallet: planning and signing diversity-aware spends."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.errors import ValidationError
+from repro.chain.transaction import Transaction
+from repro.chain.wallet import Wallet
+from repro.crypto.keys import keypair_from_seed
+
+
+def funded_chain_and_wallets(user_count=4, outputs_per_user=2):
+    """A chain whose coinbase outputs are claimed by several wallets."""
+    chain = Blockchain(verify_signatures=True)
+    wallets = [Wallet(name=f"user{i}") for i in range(user_count)]
+    keypairs = []
+    owners = []
+    for wallet in wallets:
+        for _ in range(outputs_per_user):
+            keypair = wallet.derive_keypair()
+            keypairs.append((wallet, keypair))
+            owners.append(keypair.public)
+    # Several coinbase transactions so tokens span multiple HTs.
+    txs = []
+    per_tx = 2
+    for index in range(0, len(owners), per_tx):
+        txs.append(Transaction(inputs=(), output_count=per_tx, nonce=index))
+    chain.append_block(chain.make_block(txs, timestamp=1.0))
+    flat = []
+    for tx in txs:
+        outs = tx.make_outputs(
+            owners=owners[len(flat) : len(flat) + tx.output_count]
+        )
+        flat.extend(outs)
+        chain.register_owned_outputs(outs)
+    for output, (wallet, keypair) in zip(flat, keypairs):
+        wallet.claim_output(output, keypair)
+    return chain, wallets
+
+
+class TestClaiming:
+    def test_claim_and_list(self):
+        chain, wallets = funded_chain_and_wallets()
+        assert len(wallets[0].owned_tokens()) == 2
+
+    def test_claim_wrong_key_rejected(self):
+        chain, wallets = funded_chain_and_wallets()
+        token = wallets[0].owned_tokens()[0]
+        output = chain.token(token)
+        with pytest.raises(ValidationError):
+            wallets[1].claim_output(output, keypair_from_seed("not-the-owner"))
+
+    def test_derive_keypair_unique(self):
+        wallet = Wallet(name="w")
+        assert (
+            wallet.derive_keypair().public.encode()
+            != wallet.derive_keypair().public.encode()
+        )
+
+
+class TestSpending:
+    def test_plan_requires_ownership(self):
+        chain, wallets = funded_chain_and_wallets()
+        foreign = wallets[1].owned_tokens()[0]
+        with pytest.raises(ValidationError):
+            wallets[0].plan_spend(chain, foreign, c=2.0, ell=2)
+
+    def test_plan_contains_target(self):
+        chain, wallets = funded_chain_and_wallets()
+        token = wallets[0].owned_tokens()[0]
+        plan = wallets[0].plan_spend(chain, token, c=2.0, ell=2)
+        assert token in plan.selection.tokens
+        assert plan.selection.size >= 2
+
+    def test_end_to_end_spend_accepted(self):
+        chain, wallets = funded_chain_and_wallets()
+        token = wallets[0].owned_tokens()[0]
+        plan = wallets[0].plan_spend(chain, token, c=2.0, ell=2)
+        tx = wallets[0].sign_spend(chain, plan)
+        chain.append_block(chain.make_block([tx], timestamp=2.0))
+        assert chain.height == 2
+        # The ring is now visible on chain with its claimed requirement.
+        ring = list(chain.rings)[-1]
+        assert ring.tokens == plan.selection.tokens
+        assert ring.c == 2.0
+
+    def test_double_spend_detected(self):
+        chain, wallets = funded_chain_and_wallets()
+        token = wallets[0].owned_tokens()[0]
+        plan = wallets[0].plan_spend(chain, token, c=2.0, ell=2)
+        tx1 = wallets[0].sign_spend(chain, plan, nonce=0)
+        chain.append_block(chain.make_block([tx1], timestamp=2.0))
+        tx2 = wallets[0].sign_spend(chain, plan, nonce=1)
+        from repro.chain.errors import DoubleSpendError
+
+        with pytest.raises(DoubleSpendError):
+            chain.append_block(chain.make_block([tx2], timestamp=3.0))
+
+    def test_selector_choice_respected(self):
+        chain, wallets = funded_chain_and_wallets()
+        token = wallets[0].owned_tokens()[0]
+        plan = wallets[0].plan_spend(chain, token, c=2.0, ell=2, algorithm="game")
+        assert plan.selection.algorithm == "game"
