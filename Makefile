@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Sub-minute perf guard: the before/after BFS ladder (writes
+# benchmarks/results/BENCH_bfs.json) with tight, env-overridable caps.
+bench-smoke:
+	REPRO_BENCH_REF_TOTAL=30 $(PYTHON) -m pytest benchmarks/test_bench_bfs_perf.py -q -s
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q -s
+
+verify: test bench-smoke

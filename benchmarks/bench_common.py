@@ -9,6 +9,7 @@ which way the trend bends) — absolute numbers are substrate-dependent.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -41,6 +42,14 @@ def save_text(filename: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / filename
     path.write_text(text + "\n")
+    return path
+
+
+def save_json(filename: str, payload: dict) -> Path:
+    """Machine-readable artifact (perf tracking across PRs)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

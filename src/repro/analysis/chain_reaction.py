@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from ..core.combinations import has_complete_assignment, possible_consumed_tokens
+from ..core.perf.matching import IncrementalMatcher
+from ..core.perf.parallel import parallel_map_rings, resolve_workers
 from ..core.ring import Ring
 
 __all__ = ["AttackResult", "cascade_attack", "exact_analysis"]
@@ -89,21 +90,34 @@ def cascade_attack(
 def exact_analysis(
     rings: Sequence[Ring],
     side_information: Mapping[str, str] | None = None,
+    workers: int = 0,
 ) -> AttackResult:
     """Matching-based exact possibility analysis.
 
     A token t is possible for ring r iff forcing r -> t (together with
     all side information) still admits a complete token-RS combination.
+    One maximum matching is shared by every query; each query is a
+    single augmenting-path repair.
+
+    Args:
+        workers: fan the per-ring sweep across this many processes
+            (<= 1 means serial).  The result is identical either way —
+            each ring's possible set is independent of sweep order.
     """
     forced = dict(side_information or {})
     by_rid = {ring.rid: ring for ring in rings}
-    possible: dict[str, set[str]] = {}
-    if not has_complete_assignment(rings, forced):
+    matcher = IncrementalMatcher(rings, forced)
+    if not matcher.complete:
         # Contradictory side information: nothing is possible.
         return _result_from_possible(by_rid, {ring.rid: set() for ring in rings})
-    for ring in rings:
-        survivors = possible_consumed_tokens(ring, rings, forced)
-        possible[ring.rid] = set(survivors)
+    workers = resolve_workers(workers)
+    if workers:
+        fanned = parallel_map_rings(rings, forced, workers)
+        possible = {rid: set(tokens) for rid, tokens in fanned.items()}
+    else:
+        possible = {
+            ring.rid: set(matcher.possible_tokens(ring.rid)) for ring in rings
+        }
     return _result_from_possible(by_rid, possible)
 
 

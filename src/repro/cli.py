@@ -52,7 +52,13 @@ def _run_fig3(args: argparse.Namespace) -> None:
 
 
 def _run_fig4(args: argparse.Namespace) -> None:
-    measurements = fig4_bfs_scaling(time_budget=args.budget, seed=args.seed)
+    measurements = fig4_bfs_scaling(
+        token_count=args.tokens,
+        max_rings=args.max_rings,
+        time_budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+    )
     print(f"{'i-th RS':>8} | {'time (s)':>10} | {'ring size':>9} | outcome")
     print("-" * 48)
     for m in measurements:
@@ -104,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--seed", type=int, default=0)
     fig4.add_argument("--budget", type=float, default=15.0,
                       help="per-ring wall-clock budget in seconds")
+    fig4.add_argument("--tokens", type=int, default=20,
+                      help="batch universe size (paper: 20)")
+    fig4.add_argument("--max-rings", type=int, default=6,
+                      help="how many sequential rings to generate")
+    fig4.add_argument("--workers", type=int, default=0,
+                      help="processes for the candidate scan "
+                           "(<=1 serial; results identical)")
 
     for name, help_text in [
         ("fig5", "vary c (real)"),

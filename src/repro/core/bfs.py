@@ -16,6 +16,26 @@ The search space is O(2^n) candidates and the DTRS check is itself
 exponential (Theorem 3.1 says no better exact method is expected);
 Figure 4 of the paper measures exactly this blow-up and so does the
 ``bench_fig04_bfs_scaling`` benchmark.
+
+What changed versus the seed solver (kept verbatim as
+:func:`repro.core.perf.reference.bfs_select_reference`, with the
+equivalence test suite proving identical output):
+
+* a per-instance :class:`~repro.core.perf.SolverCache` shares the
+  related-ring closures and the base token-RS world enumerations across
+  all candidates of the search;
+* the non-eliminated constraint runs on one incremental matching per
+  closure instead of |ring| full Kuhn runs per ring;
+* the ``time_budget`` is threaded *into* the per-candidate check as a
+  deadline — the seed only looked at the clock between candidates, so a
+  single candidate's DTRS sweep could overshoot the budget unboundedly;
+* ``workers > 1`` fans the candidate stream of each size across
+  processes.  The winner is the first feasible candidate in
+  lexicographic enumeration order, so the parallel result — optimum,
+  mixin set and ``candidates_checked`` — is identical to serial.
+  ``candidates_checked`` always reports the *serial* semantics: the
+  1-based enumeration position of the winner (workers may have
+  speculatively checked candidates past it; those are not counted).
 """
 
 from __future__ import annotations
@@ -25,12 +45,11 @@ from dataclasses import dataclass
 from itertools import combinations as subset_combinations
 
 from .diversity import ht_counts_satisfy
-from .dtrs import get_dtrss
-from .problem import (
-    DamsInstance,
-    InfeasibleError,
-    check_non_eliminated_constraint,
-)
+from .perf.cache import SolverCache
+from .perf.matching import IncrementalMatcher
+from .perf.parallel import resolve_workers, scan_candidates
+from .perf.worlds import DeadlineExceeded
+from .problem import DamsInstance, InfeasibleError
 from .ring import Ring
 
 __all__ = ["BfsResult", "bfs_select", "SearchBudgetExceeded"]
@@ -47,7 +66,9 @@ class BfsResult:
     Attributes:
         ring: the optimal ring (target token + minimal mixins).
         mixins: the chosen mixin set.
-        candidates_checked: number of candidate rings examined.
+        candidates_checked: number of candidate rings examined (serial
+            enumeration-order semantics, identical for all worker
+            counts).
         elapsed: wall-clock seconds spent.
     """
 
@@ -61,6 +82,8 @@ def bfs_select(
     instance: DamsInstance,
     time_budget: float | None = None,
     max_mixins: int | None = None,
+    workers: int = 0,
+    cache: SolverCache | None = None,
 ) -> BfsResult:
     """Run Algorithm 2 on ``instance`` and return the optimal ring.
 
@@ -69,27 +92,57 @@ def bfs_select(
         time_budget: optional wall-clock cap in seconds; exceeding it
             raises :class:`SearchBudgetExceeded` (the paper's Figure 4
             run hit 2 hours for the 8th RS — callers need a guard).
+            The budget is enforced *inside* the per-candidate DTRS
+            sweep too, so one pathological candidate cannot overshoot.
         max_mixins: optional cap on the mixin-set size to search.
+        workers: fan the candidate stream across this many processes
+            (<= 1 means serial).  Results are identical to serial.
+        cache: reuse a :class:`SolverCache` across calls sharing the
+            same universe + ring history (one is created if omitted).
 
     Raises:
         InfeasibleError: the full search space holds no feasible ring.
         SearchBudgetExceeded: the time budget ran out first.
     """
     start = time.perf_counter()
+    deadline = None if time_budget is None else start + time_budget
     sigma = sorted(instance.candidate_mixins())
     upper = len(sigma) if max_mixins is None else min(max_mixins, len(sigma))
     lower = max(0, instance.ell - 1)
+    workers = resolve_workers(workers)
+    if cache is None:
+        cache = SolverCache(instance.universe, instance.rings)
     checked = 0
 
     for size in range(lower, upper + 1):
-        for mixin_tuple in subset_combinations(sigma, size):
-            if time_budget is not None and time.perf_counter() - start > time_budget:
+        stream = subset_combinations(sigma, size)
+        if workers:
+            outcome, index, winner = scan_candidates(
+                instance, stream, workers, deadline=deadline
+            )
+            if outcome == "budget":
+                raise SearchBudgetExceeded(
+                    f"exact BFS exceeded {time_budget:.1f}s after "
+                    f"{checked + index} candidates"
+                )
+            if outcome == "found":
+                checked += index + 1
+                return BfsResult(
+                    ring=instance.make_ring(winner),
+                    mixins=frozenset(winner),
+                    candidates_checked=checked,
+                    elapsed=time.perf_counter() - start,
+                )
+            checked += index
+            continue
+        for mixin_tuple in stream:
+            if deadline is not None and time.perf_counter() > deadline:
                 raise SearchBudgetExceeded(
                     f"exact BFS exceeded {time_budget:.1f}s after {checked} candidates"
                 )
             checked += 1
             candidate = instance.make_ring(mixin_tuple)
-            if _candidate_feasible(instance, candidate):
+            if _candidate_feasible(instance, candidate, cache=cache, deadline=deadline):
                 return BfsResult(
                     ring=candidate,
                     mixins=frozenset(mixin_tuple),
@@ -102,8 +155,18 @@ def bfs_select(
     )
 
 
-def _candidate_feasible(instance: DamsInstance, candidate: Ring) -> bool:
-    """Lines 5-22 of Algorithm 2 for a single candidate ring."""
+def _candidate_feasible(
+    instance: DamsInstance,
+    candidate: Ring,
+    cache: SolverCache | None = None,
+    deadline: float | None = None,
+) -> bool:
+    """Lines 5-22 of Algorithm 2 for a single candidate ring.
+
+    Raises:
+        SearchBudgetExceeded: the deadline passed mid-check (the seed
+            only noticed between candidates; see the module docstring).
+    """
     universe = instance.universe
     # Line 6-8: the candidate's own HT multiset first — cheapest filter.
     if not ht_counts_satisfy(
@@ -111,17 +174,34 @@ def _candidate_feasible(instance: DamsInstance, candidate: Ring) -> bool:
     ):
         return False
 
-    related = instance.related_rings(candidate)
+    if cache is None:
+        cache = SolverCache(universe, instance.rings)
+    key = cache.related_key(candidate.tokens)
+    related = cache.related_rings(key)
     closure = related + [candidate]
 
-    # Lines 9-16: non-eliminated over the closure.
-    if not check_non_eliminated_constraint(closure):
+    # Lines 9-16: non-eliminated over the closure — one matching, one
+    # augmenting-path repair per (ring, token) query.
+    matcher = IncrementalMatcher(closure)
+    if not all(matcher.non_eliminated(ring.rid) for ring in closure):
         return False
 
     # Lines 17-22: every ring's DTRSs must satisfy that ring's own
-    # claimed requirement (the candidate's is (c_tau, l_tau)).
-    for ring in closure:
-        for dtrs in get_dtrss(ring, closure, universe):
-            if not ht_counts_satisfy(universe.ht_counts(dtrs.tokens), ring.c, ring.ell):
-                return False
+    # claimed requirement (the candidate's is (c_tau, l_tau)).  The
+    # base worlds of the related prefix come from the cache; only the
+    # candidate's own row is new work.
+    try:
+        worlds = cache.base_worlds(key, deadline=deadline).extend(
+            candidate, deadline=deadline
+        )
+        for ring in closure:
+            for dtrs in worlds.dtrss_of(ring.rid, universe, deadline=deadline):
+                if not ht_counts_satisfy(
+                    universe.ht_counts(dtrs.tokens), ring.c, ring.ell
+                ):
+                    return False
+    except DeadlineExceeded:
+        raise SearchBudgetExceeded(
+            "exact BFS deadline passed inside a candidate's DTRS sweep"
+        ) from None
     return True

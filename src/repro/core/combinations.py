@@ -129,32 +129,14 @@ def has_complete_assignment(
 ) -> bool:
     """Polynomial check: does *any* token-RS combination exist?
 
-    Uses Kuhn's augmenting-path maximum bipartite matching.  Forced
+    Uses Kuhn's augmenting-path maximum bipartite matching (via
+    :class:`~repro.core.perf.matching.IncrementalMatcher`).  Forced
     pairs are honoured by shrinking the forced ring's candidate list to
     a single token.
     """
-    candidates = _candidate_lists(rings, forced, excluded_tokens)
-    if candidates is None:
-        return False
-    match_of_token: dict[str, int] = {}
-    # Assign most-constrained rings first to fail fast.
-    order = sorted(range(len(rings)), key=lambda i: len(candidates[i]))
+    from .perf.matching import IncrementalMatcher
 
-    def try_assign(ring_index: int, visited: set[str]) -> bool:
-        for token in candidates[ring_index]:
-            if token in visited:
-                continue
-            visited.add(token)
-            holder = match_of_token.get(token)
-            if holder is None or try_assign(holder, visited):
-                match_of_token[token] = ring_index
-                return True
-        return False
-
-    for ring_index in order:
-        if not try_assign(ring_index, set()):
-            return False
-    return True
+    return IncrementalMatcher(rings, forced, excluded_tokens).complete
 
 
 def possible_consumed_tokens(
@@ -166,25 +148,19 @@ def possible_consumed_tokens(
     """Tokens ``target`` can consume in at least one valid world.
 
     ``rings`` must contain ``target``.  A token survives iff forcing
-    target -> token still leaves a complete assignment for all rings.
+    target -> token still leaves a complete assignment for all rings —
+    answered with one base matching plus an augmenting-path repair per
+    token, not a fresh matching per token.  Callers querying *many*
+    rings of the same set should hold one
+    :class:`~repro.core.perf.matching.IncrementalMatcher` instead.
     """
+    from .perf.matching import IncrementalMatcher
+
     if all(ring.rid != target.rid for ring in rings):
         raise ValueError("target ring must be a member of the ring set")
-    base_forced = dict(forced or {})
-    if target.rid in base_forced:
-        # The target's pair is already known (adversary side
-        # information); its only possible token is the forced one,
-        # provided the constraint system stays satisfiable.
-        known = base_forced[target.rid]
-        if has_complete_assignment(rings, base_forced, excluded_tokens):
-            return frozenset({known})
-        return frozenset()
-    survivors = set()
-    for token in target.tokens:
-        base_forced[target.rid] = token
-        if has_complete_assignment(rings, base_forced, excluded_tokens):
-            survivors.add(token)
-    return frozenset(survivors)
+    return IncrementalMatcher(rings, forced, excluded_tokens).possible_tokens(
+        target.rid
+    )
 
 
 def eliminated_tokens(

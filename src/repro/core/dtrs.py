@@ -11,13 +11,19 @@ procedure) enumerates all token-RS combinations and is exponential —
 this is intentional, the whole point of Section 6 is replacing it with
 the polynomial Theorem 6.1 check under the practical configurations
 (see :mod:`repro.core.modules`).
+
+The enumeration is executed on the bitmask world index of
+:class:`~repro.core.perf.worlds.WorldSet` (worlds enumerated once per
+call, candidate pair sets walked with mask pruning and a sublinear
+dominance index); the seed's eager per-call world list lives on as
+:func:`repro.core.perf.reference.get_dtrss_reference` and the
+equivalence tests assert both return the same DTRSs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations as subset_combinations
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from .ring import Ring, TokenUniverse
 
@@ -51,6 +57,7 @@ def get_dtrss(
     rings: Sequence[Ring],
     universe: TokenUniverse,
     max_size: int | None = None,
+    deadline: float | None = None,
 ) -> list[Dtrs]:
     """Enumerate all (minimal) DTRSs of ``target`` — Algorithm 3.
 
@@ -62,72 +69,23 @@ def get_dtrss(
         max_size: optionally cap the candidate pair-set size (the
             paper's loop runs sizes 1..n; small caps make the BFS bench
             tractable while preserving minimality of what is returned).
+        deadline: optional ``time.perf_counter()`` deadline; passing it
+            lets callers with a time budget (the BFS solver) abort an
+            exponential enumeration mid-flight with
+            :class:`~repro.core.perf.worlds.DeadlineExceeded`.
 
     Returns:
-        Minimal DTRSs.  Empty list means no leak of other rings' pairs
-        can ever pin down the target's HT (the best possible privacy).
+        Minimal DTRSs, canonically ordered (by size, then pairs).
+        Empty list means no leak of other rings' pairs can ever pin
+        down the target's HT (the best possible privacy).
     """
-    from .combinations import enumerate_combinations
+    from .perf.worlds import WorldSet
 
     if all(ring.rid != target.rid for ring in rings):
         raise ValueError("target ring must be a member of the ring set")
 
-    worlds = list(enumerate_combinations(rings))
-    if not worlds:
-        return []
-
-    others = [ring for ring in rings if ring.rid != target.rid]
-    cap = max_size if max_size is not None else len(others)
-
-    found: list[Dtrs] = []
-
-    def dominated(candidate: frozenset[tuple[str, str]]) -> bool:
-        return any(existing.pairs <= candidate for existing in found)
-
-    # Candidates are drawn from actual worlds (a pair set never realized
-    # together cannot be revealed together), sizes ascending so that the
-    # first hit at each "shape" is minimal and dominates its supersets.
-    for size in range(0, cap + 1):
-        seen: set[frozenset[tuple[str, str]]] = set()
-        for world in worlds:
-            other_pairs = [
-                (world[ring.rid], ring.rid) for ring in others
-            ]
-            for chosen in subset_combinations(other_pairs, size):
-                candidate = frozenset(chosen)
-                if candidate in seen or dominated(candidate):
-                    continue
-                seen.add(candidate)
-                determined = _determined_ht(candidate, target, worlds, universe)
-                if determined is not None:
-                    found.append(Dtrs(pairs=candidate, determined_ht=determined))
-    return found
-
-
-def _determined_ht(
-    candidate: frozenset[tuple[str, str]],
-    target: Ring,
-    worlds: Iterable[dict[str, str]],
-    universe: TokenUniverse,
-) -> str | None:
-    """HT determined by ``candidate``, or None if not determining.
-
-    A candidate determines an HT iff every world containing all its
-    pairs gives the target's consumed token the same HT (and at least
-    one such world exists).
-    """
-    determined: str | None = None
-    matched = False
-    for world in worlds:
-        if any(world.get(rid) != token for token, rid in candidate):
-            continue
-        matched = True
-        ht = universe.ht_of(world[target.rid])
-        if determined is None:
-            determined = ht
-        elif determined != ht:
-            return None
-    return determined if matched else None
+    worlds = WorldSet(rings, deadline=deadline)
+    return worlds.dtrss_of(target.rid, universe, max_size=max_size, deadline=deadline)
 
 
 def ring_is_recursive_diverse_exact(

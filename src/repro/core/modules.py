@@ -70,17 +70,38 @@ def find_super_rings(rings: Sequence[Ring]) -> list[Ring]:
 
     A ring r_i is a super RS iff no ring proposed after it (higher seq)
     is a strict superset of it.
+
+    One sweep in descending seq order maintains the token sets of all
+    later-proposed rings, bucketed (and deduplicated) by size; a ring
+    only needs comparing against strictly larger later sets, so
+    module-universe construction stays fast when histories grow — the
+    seed compared all O(n²) ring pairs.
     """
-    supers: list[Ring] = []
-    for ring in rings:
-        is_super = True
-        for other in rings:
-            if other.seq > ring.seq and other.tokens > ring.tokens:
-                is_super = False
-                break
-        if is_super:
-            supers.append(ring)
-    return supers
+    order = sorted(range(len(rings)), key=lambda i: rings[i].seq, reverse=True)
+    later_by_size: dict[int, set[frozenset[str]]] = {}
+    super_indices: set[int] = set()
+
+    position = 0
+    while position < len(order):
+        # Rings sharing a seq are mutually "not later": batch them.
+        group_end = position
+        seq = rings[order[position]].seq
+        while group_end < len(order) and rings[order[group_end]].seq == seq:
+            group_end += 1
+        group = order[position:group_end]
+        for index in group:
+            tokens = rings[index].tokens
+            if not any(
+                size > len(tokens) and any(tokens < other for other in sets)
+                for size, sets in later_by_size.items()
+            ):
+                super_indices.add(index)
+        for index in group:
+            tokens = rings[index].tokens
+            later_by_size.setdefault(len(tokens), set()).add(tokens)
+        position = group_end
+
+    return [ring for index, ring in enumerate(rings) if index in super_indices]
 
 
 def subset_count(ring: Ring, rings: Sequence[Ring]) -> int:

@@ -1,0 +1,152 @@
+"""Per-instance memoization for the exact BFS pipeline.
+
+Every candidate mixin set of a given size walks the same three steps:
+find the related-ring closure, check non-elimination, sweep the DTRSs
+of every closure ring.  Across the thousands of candidates the BFS
+enumerates, almost all of that work is shared:
+
+* the related set of a candidate is exactly the union of the connected
+  components (token-overlap graph) its tokens touch — computed once
+  per instance, the per-candidate lookup is O(|candidate|);
+* the token-RS combinations of the *existing* related rings — the
+  expensive backtracking enumeration — depend only on which components
+  are touched, so each distinct component set's :class:`WorldSet` is
+  built once and every candidate extends it with its own row
+  (:meth:`WorldSet.extend`, linear in the output);
+* likewise one complete base matching per component set seeds the
+  :class:`IncrementalMatcher` of every candidate's closure.
+
+Fingerprints are frozensets of component ids (equivalently: the frozen
+rids + token sets of the related rings, which the components determine
+uniquely within one instance).  Cache hits/misses are counted so tests
+and benchmarks can assert the sharing actually happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..ring import Ring, TokenUniverse
+from .worlds import WorldSet
+
+__all__ = ["SolverCache", "CacheStats"]
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Observable cache behavior (asserted by tests, reported by benches)."""
+
+    related_queries: int = 0
+    worlds_hits: int = 0
+    worlds_misses: int = 0
+
+    @property
+    def worlds_queries(self) -> int:
+        return self.worlds_hits + self.worlds_misses
+
+
+@dataclass(slots=True)
+class _Component:
+    """One connected component of the token-overlap graph."""
+
+    cid: int
+    ring_indices: list[int] = field(default_factory=list)
+
+
+class SolverCache:
+    """Shared-work cache for one :class:`~repro.core.problem.DamsInstance`.
+
+    Args:
+        universe: the instance's token universe.
+        rings: the previously proposed rings (the instance's history).
+    """
+
+    def __init__(self, universe: TokenUniverse, rings: Sequence[Ring]) -> None:
+        self.universe = universe
+        self.rings = list(rings)
+        self.stats = CacheStats()
+        self._component_of_token: dict[str, int] = {}
+        self._components: list[_Component] = []
+        self._build_components()
+        self._worlds: dict[frozenset[int], WorldSet] = {}
+
+    # -- component decomposition ------------------------------------------
+
+    def _build_components(self) -> None:
+        # Union-find over ring indices, linked through shared tokens.
+        parent = list(range(len(self.rings)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[rj] = ri
+
+        first_ring_of_token: dict[str, int] = {}
+        for index, ring in enumerate(self.rings):
+            for token in ring.tokens:
+                owner = first_ring_of_token.setdefault(token, index)
+                if owner != index:
+                    union(owner, index)
+
+        cid_of_root: dict[int, int] = {}
+        for index in range(len(self.rings)):
+            root = find(index)
+            cid = cid_of_root.get(root)
+            if cid is None:
+                cid = len(self._components)
+                cid_of_root[root] = cid
+                self._components.append(_Component(cid=cid))
+            self._components[cid].ring_indices.append(index)
+        for token, owner in first_ring_of_token.items():
+            self._component_of_token[token] = cid_of_root[find(owner)]
+
+    # -- related-ring closures --------------------------------------------
+
+    def related_key(self, tokens: Iterable[str]) -> frozenset[int]:
+        """The component-set fingerprint a candidate's tokens touch."""
+        self.stats.related_queries += 1
+        return frozenset(
+            cid
+            for token in tokens
+            if (cid := self._component_of_token.get(token)) is not None
+        )
+
+    def related_rings(self, key: frozenset[int]) -> list[Ring]:
+        """The related RS set (Definition 1) for a component-set key.
+
+        Identical to :func:`~repro.core.ring.related_ring_set` — the
+        fixpoint of token-overlap is exactly the union of the touched
+        components — including the original ring order.
+        """
+        indices = sorted(
+            index for cid in key for index in self._components[cid].ring_indices
+        )
+        return [self.rings[index] for index in indices]
+
+    # -- shared world prefixes --------------------------------------------
+
+    def base_worlds(self, key: frozenset[int], deadline: float | None = None) -> WorldSet:
+        """The (cached) WorldSet of the related rings under ``key``."""
+        worlds = self._worlds.get(key)
+        if worlds is None:
+            self.stats.worlds_misses += 1
+            worlds = WorldSet(self.related_rings(key), deadline=deadline)
+            self._worlds[key] = worlds
+        else:
+            self.stats.worlds_hits += 1
+        return worlds
+
+    def closure_worlds(
+        self, candidate: Ring, deadline: float | None = None
+    ) -> tuple[list[Ring], WorldSet]:
+        """(related rings, WorldSet of related + candidate) for a candidate."""
+        key = self.related_key(candidate.tokens)
+        base = self.base_worlds(key, deadline=deadline)
+        return base.rings, base.extend(candidate, deadline=deadline)

@@ -1,0 +1,161 @@
+"""Opt-in multiprocessing fan-out for the exact pipeline.
+
+Two fan-outs live here:
+
+* the BFS candidate stream — :func:`scan_candidates` chunks the
+  lexicographic size-k mixin stream across a process pool and returns
+  the *first feasible candidate in enumeration order*, so the parallel
+  winner (and therefore the reported optimum, mixin set and
+  ``candidates_checked``) is byte-identical to the serial solver's;
+* the chain-reaction per-ring sweep — :func:`parallel_map_rings` splits
+  the possible-consumed-token queries of an attack across workers, each
+  holding its own :class:`~repro.core.perf.matching.IncrementalMatcher`.
+
+Workers are plain forked processes (no shared state); each builds its
+own :class:`~repro.core.perf.cache.SolverCache` once per pool and keeps
+it across chunks.  Determinism does not depend on scheduling: results
+are consumed in submission order and the first hit wins.
+
+Everything defaults off (``workers <= 1`` means serial) — on small
+instances process startup dwarfs the work, and the caching layer alone
+usually clears the budget.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from itertools import islice
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..ring import Ring
+
+__all__ = [
+    "resolve_workers",
+    "chunked",
+    "scan_candidates",
+    "parallel_map_rings",
+]
+
+#: Candidates per task sent to a BFS worker.  Large enough to amortize
+#: pickling, small enough that the controller can stop soon after a hit.
+BFS_CHUNK_SIZE = 64
+
+#: Rings per task in the chain-reaction sweep.
+ANALYSIS_CHUNK_SIZE = 8
+
+# Per-process worker state, installed by the pool initializer (plain
+# module globals — each forked worker has its own copy).
+_STATE: dict = {}
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count flag: <= 1 (or None) means serial."""
+    if workers is None or workers <= 1:
+        return 0
+    return int(workers)
+
+
+def chunked(iterable: Iterable, size: int) -> Iterator[list]:
+    """Split an iterable into lists of at most ``size`` items."""
+    iterator = iter(iterable)
+    while chunk := list(islice(iterator, size)):
+        yield chunk
+
+
+def _pool(workers: int, initializer, initargs) -> multiprocessing.pool.Pool:
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return context.Pool(workers, initializer=initializer, initargs=initargs)
+
+
+# -- BFS candidate fan-out ------------------------------------------------
+
+
+def _init_bfs_worker(instance, deadline) -> None:
+    from .cache import SolverCache
+
+    _STATE["instance"] = instance
+    _STATE["cache"] = SolverCache(instance.universe, instance.rings)
+    _STATE["deadline"] = deadline
+
+
+def _scan_chunk(
+    chunk: list[tuple[str, ...]],
+) -> tuple[str, int, tuple[str, ...] | None]:
+    """Scan one chunk: ("found", i, mixins) | ("none", n, None) | ("budget", i, None)."""
+    from ..bfs import SearchBudgetExceeded, _candidate_feasible
+
+    instance = _STATE["instance"]
+    cache = _STATE["cache"]
+    deadline = _STATE["deadline"]
+    for local_index, mixin_tuple in enumerate(chunk):
+        candidate = instance.make_ring(mixin_tuple)
+        try:
+            feasible = _candidate_feasible(
+                instance, candidate, cache=cache, deadline=deadline
+            )
+        except SearchBudgetExceeded:
+            return ("budget", local_index, None)
+        if feasible:
+            return ("found", local_index, mixin_tuple)
+    return ("none", len(chunk), None)
+
+
+def scan_candidates(
+    instance,
+    candidate_stream: Iterable[tuple[str, ...]],
+    workers: int,
+    deadline: float | None = None,
+    chunk_size: int = BFS_CHUNK_SIZE,
+) -> tuple[str, int, tuple[str, ...] | None]:
+    """Find the first feasible candidate of a (lexicographic) stream.
+
+    Returns:
+        ("found", global_index, mixins): a feasible candidate exists;
+            its 0-based position in the stream and its mixin tuple — by
+            construction the same candidate the serial scan returns.
+        ("none", total, None): the stream was exhausted; ``total``
+            candidates were scanned.
+        ("budget", global_index, None): a worker hit the deadline while
+            checking the candidate at ``global_index``.
+    """
+    offset = 0
+    with _pool(workers, _init_bfs_worker, (instance, deadline)) as pool:
+        results = pool.imap(_scan_chunk, chunked(candidate_stream, chunk_size))
+        for outcome, local, winner in results:
+            if outcome in ("found", "budget"):
+                pool.terminate()
+                return (outcome, offset + local, winner)
+            offset += local
+    return ("none", offset, None)
+
+
+# -- chain-reaction fan-out ------------------------------------------------
+
+
+def _init_analysis_worker(rings, forced) -> None:
+    from .matching import IncrementalMatcher
+
+    _STATE["matcher"] = IncrementalMatcher(rings, forced)
+
+
+def _analysis_chunk(rids: list[str]) -> dict[str, frozenset[str]]:
+    matcher = _STATE["matcher"]
+    return {rid: matcher.possible_tokens(rid) for rid in rids}
+
+
+def parallel_map_rings(
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None,
+    workers: int,
+    chunk_size: int = ANALYSIS_CHUNK_SIZE,
+) -> dict[str, frozenset[str]]:
+    """Possible-consumed-token sets for every ring, fanned across workers."""
+    rids = [ring.rid for ring in rings]
+    possible: dict[str, frozenset[str]] = {}
+    with _pool(workers, _init_analysis_worker, (list(rings), dict(forced or {}))) as pool:
+        for chunk_result in pool.imap(_analysis_chunk, chunked(rids, chunk_size)):
+            possible.update(chunk_result)
+    return possible

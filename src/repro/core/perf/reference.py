@@ -1,0 +1,216 @@
+"""The seed implementations of the exact pipeline, frozen.
+
+These are the pre-optimization algorithms exactly as the repository
+shipped them: eager world enumeration per ``get_dtrss`` call, a linear
+``dominated()`` scan, one full Kuhn matching per possible-token query,
+and a BFS whose time budget is only consulted *between* candidates.
+
+They exist for two reasons:
+
+* the equivalence tests assert the optimized solvers return identical
+  results (same optimum, same mixins, same ``candidates_checked``);
+* the ``BENCH_bfs.json`` benchmark times them as the "before" column so
+  the speedup of the perf layer is tracked across PRs.
+
+Do not "fix" or speed these up — their value is being the seed.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations as subset_combinations
+from typing import Iterable, Mapping, Sequence
+
+from ..combinations import _candidate_lists, enumerate_combinations
+from ..diversity import ht_counts_satisfy
+from ..dtrs import Dtrs
+from ..ring import Ring, TokenUniverse
+
+__all__ = [
+    "get_dtrss_reference",
+    "has_complete_assignment_reference",
+    "possible_consumed_tokens_reference",
+    "check_non_eliminated_reference",
+    "bfs_select_reference",
+]
+
+
+def get_dtrss_reference(
+    target: Ring,
+    rings: Sequence[Ring],
+    universe: TokenUniverse,
+    max_size: int | None = None,
+) -> list[Dtrs]:
+    """Seed Algorithm 3: eager worlds list + linear dominance scan."""
+    if all(ring.rid != target.rid for ring in rings):
+        raise ValueError("target ring must be a member of the ring set")
+
+    worlds = list(enumerate_combinations(rings))
+    if not worlds:
+        return []
+
+    others = [ring for ring in rings if ring.rid != target.rid]
+    cap = max_size if max_size is not None else len(others)
+
+    found: list[Dtrs] = []
+
+    def dominated(candidate: frozenset[tuple[str, str]]) -> bool:
+        return any(existing.pairs <= candidate for existing in found)
+
+    for size in range(0, cap + 1):
+        seen: set[frozenset[tuple[str, str]]] = set()
+        for world in worlds:
+            other_pairs = [(world[ring.rid], ring.rid) for ring in others]
+            for chosen in subset_combinations(other_pairs, size):
+                candidate = frozenset(chosen)
+                if candidate in seen or dominated(candidate):
+                    continue
+                seen.add(candidate)
+                determined = _determined_ht_reference(
+                    candidate, target, worlds, universe
+                )
+                if determined is not None:
+                    found.append(Dtrs(pairs=candidate, determined_ht=determined))
+    return found
+
+
+def _determined_ht_reference(
+    candidate: frozenset[tuple[str, str]],
+    target: Ring,
+    worlds: Iterable[dict[str, str]],
+    universe: TokenUniverse,
+) -> str | None:
+    determined: str | None = None
+    matched = False
+    for world in worlds:
+        if any(world.get(rid) != token for token, rid in candidate):
+            continue
+        matched = True
+        ht = universe.ht_of(world[target.rid])
+        if determined is None:
+            determined = ht
+        elif determined != ht:
+            return None
+    return determined if matched else None
+
+
+def has_complete_assignment_reference(
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None = None,
+    excluded_tokens: Iterable[str] = (),
+) -> bool:
+    """Seed polynomial check: fresh Kuhn matching per call."""
+    candidates = _candidate_lists(rings, forced, excluded_tokens)
+    if candidates is None:
+        return False
+    match_of_token: dict[str, int] = {}
+    order = sorted(range(len(rings)), key=lambda i: len(candidates[i]))
+
+    def try_assign(ring_index: int, visited: set[str]) -> bool:
+        for token in candidates[ring_index]:
+            if token in visited:
+                continue
+            visited.add(token)
+            holder = match_of_token.get(token)
+            if holder is None or try_assign(holder, visited):
+                match_of_token[token] = ring_index
+                return True
+        return False
+
+    for ring_index in order:
+        if not try_assign(ring_index, set()):
+            return False
+    return True
+
+
+def possible_consumed_tokens_reference(
+    target: Ring,
+    rings: Sequence[Ring],
+    forced: Mapping[str, str] | None = None,
+    excluded_tokens: Iterable[str] = (),
+) -> frozenset[str]:
+    """Seed query: |target| independent full matchings."""
+    if all(ring.rid != target.rid for ring in rings):
+        raise ValueError("target ring must be a member of the ring set")
+    base_forced = dict(forced or {})
+    if target.rid in base_forced:
+        known = base_forced[target.rid]
+        if has_complete_assignment_reference(rings, base_forced, excluded_tokens):
+            return frozenset({known})
+        return frozenset()
+    survivors = set()
+    for token in target.tokens:
+        base_forced[target.rid] = token
+        if has_complete_assignment_reference(rings, base_forced, excluded_tokens):
+            survivors.add(token)
+    return frozenset(survivors)
+
+
+def check_non_eliminated_reference(closure: Sequence[Ring]) -> bool:
+    """Seed non-eliminated constraint: full sweep per ring."""
+    for ring in closure:
+        if possible_consumed_tokens_reference(ring, closure) != ring.tokens:
+            return False
+    return True
+
+
+def bfs_select_reference(
+    instance,
+    time_budget: float | None = None,
+    max_mixins: int | None = None,
+):
+    """Seed Algorithm 2: the serial, cache-free BFS.
+
+    Note the seed's budget semantics, preserved deliberately: the clock
+    is only consulted between candidates, so one candidate's DTRS sweep
+    can overshoot the budget unboundedly (the bug the optimized solver
+    fixes by threading a deadline into the per-candidate check).
+    """
+    from ..bfs import BfsResult, SearchBudgetExceeded
+    from ..problem import InfeasibleError
+
+    start = time.perf_counter()
+    sigma = sorted(instance.candidate_mixins())
+    upper = len(sigma) if max_mixins is None else min(max_mixins, len(sigma))
+    lower = max(0, instance.ell - 1)
+    checked = 0
+
+    for size in range(lower, upper + 1):
+        for mixin_tuple in subset_combinations(sigma, size):
+            if time_budget is not None and time.perf_counter() - start > time_budget:
+                raise SearchBudgetExceeded(
+                    f"exact BFS exceeded {time_budget:.1f}s after {checked} candidates"
+                )
+            checked += 1
+            candidate = instance.make_ring(mixin_tuple)
+            if _candidate_feasible_reference(instance, candidate):
+                return BfsResult(
+                    ring=candidate,
+                    mixins=frozenset(mixin_tuple),
+                    candidates_checked=checked,
+                    elapsed=time.perf_counter() - start,
+                )
+    raise InfeasibleError(
+        f"no feasible ring for token {instance.target_token!r} under "
+        f"({instance.c}, {instance.ell})-diversity"
+    )
+
+
+def _candidate_feasible_reference(instance, candidate: Ring) -> bool:
+    universe = instance.universe
+    if not ht_counts_satisfy(
+        universe.ht_counts(candidate.tokens), candidate.c, candidate.ell
+    ):
+        return False
+
+    related = instance.related_rings(candidate)
+    closure = related + [candidate]
+
+    if not check_non_eliminated_reference(closure):
+        return False
+
+    for ring in closure:
+        for dtrs in get_dtrss_reference(ring, closure, universe):
+            if not ht_counts_satisfy(universe.ht_counts(dtrs.tokens), ring.c, ring.ell):
+                return False
+    return True

@@ -1,0 +1,343 @@
+"""Interned, bitmask-indexed token-RS combinations of a ring set.
+
+The seed ``get_dtrss`` materialized ``list(enumerate_combinations(...))``
+as a list of ``{rid: token}`` dicts for *every* (target, closure) call,
+then re-scanned the whole list once per candidate pair set.  A
+:class:`WorldSet` enumerates the combinations of a ring set once, as
+tuples of interned token indices, and builds two derived structures:
+
+* ``pair mask`` — for each (ring position, token) pair, a Python int
+  whose bit ``w`` is set iff world ``w`` assigns that token to that
+  ring.  The worlds consistent with a candidate pair set are then one
+  big-integer AND per pair, and
+* ``HT masks`` — per target ring, the worlds grouped by the HT of the
+  target's assigned token; a candidate determines an HT iff its world
+  mask is non-zero and fits inside exactly one HT mask.
+
+Together these replace the seed's memoization-free ``_determined_ht``
+world scans with O(|pairs| + |HTs|) big-integer operations, and DTRS
+enumeration walks the realizable pair sets directly (pruning any branch
+whose partial mask is already zero) instead of re-deriving them from
+every world.
+
+A WorldSet is immutable once built; :meth:`extend` derives the world
+set of ``closure = base + [candidate]`` from the base worlds without
+re-running the backtracking enumeration — the shared-prefix trick the
+BFS solver leans on, since thousands of candidates of a given size
+share the same related-ring base.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations as subset_combinations
+from typing import Iterable, Sequence
+
+from ..ring import Ring, TokenUniverse
+
+__all__ = ["WorldSet", "DeadlineExceeded"]
+
+#: How many enumeration steps between deadline checks.
+_DEADLINE_STRIDE = 2048
+
+
+class DeadlineExceeded(RuntimeError):
+    """Raised when a deadline passed mid-enumeration (budget threading)."""
+
+
+class WorldSet:
+    """All token-RS combinations of a fixed ring sequence.
+
+    Attributes:
+        rings: the ring sequence (positional order is the world layout).
+        worlds: list of worlds, each a tuple of token indices, one per
+            ring position.
+    """
+
+    __slots__ = (
+        "rings",
+        "worlds",
+        "_position_of",
+        "_token_names",
+        "_token_index",
+        "_pair_masks",
+        "_full_mask",
+        "_dtrs_cache",
+    )
+
+    def __init__(
+        self,
+        rings: Sequence[Ring],
+        deadline: float | None = None,
+        _worlds: list[tuple[int, ...]] | None = None,
+        _token_names: list[str] | None = None,
+    ) -> None:
+        self.rings: list[Ring] = list(rings)
+        self._position_of = {ring.rid: pos for pos, ring in enumerate(self.rings)}
+        if len(self._position_of) != len(self.rings):
+            raise ValueError("ring ids must be unique within a world set")
+        if _token_names is None:
+            names = sorted({token for ring in self.rings for token in ring.tokens})
+        else:
+            names = _token_names
+        self._token_names = names
+        self._token_index = {name: idx for idx, name in enumerate(names)}
+        self.worlds = self._enumerate(deadline) if _worlds is None else _worlds
+        self._pair_masks: dict[tuple[int, int], int] | None = None
+        self._full_mask = (1 << len(self.worlds)) - 1
+        self._dtrs_cache: dict[tuple[str, int | None], list] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def _enumerate(self, deadline: float | None) -> list[tuple[int, ...]]:
+        """Backtracking SDR enumeration, most-constrained rings first."""
+        count = len(self.rings)
+        candidates = [
+            sorted(self._token_index[token] for token in ring.tokens)
+            for ring in self.rings
+        ]
+        order = sorted(range(count), key=lambda i: len(candidates[i]))
+        worlds: list[tuple[int, ...]] = []
+        assignment = [0] * count
+        used: set[int] = set()
+        steps = 0
+
+        def backtrack(depth: int) -> None:
+            nonlocal steps
+            steps += 1
+            if deadline is not None and steps % _DEADLINE_STRIDE == 0:
+                if time.perf_counter() > deadline:
+                    raise DeadlineExceeded("world enumeration passed its deadline")
+            if depth == count:
+                worlds.append(tuple(assignment))
+                return
+            position = order[depth]
+            for token in candidates[position]:
+                if token in used:
+                    continue
+                used.add(token)
+                assignment[position] = token
+                backtrack(depth + 1)
+                used.discard(token)
+
+        backtrack(0)
+        return worlds
+
+    def extend(self, candidate: Ring, deadline: float | None = None) -> "WorldSet":
+        """The world set of ``self.rings + [candidate]``.
+
+        Every world of the closure is a base world plus one candidate
+        token unused in that world, so the closure worlds come straight
+        from the base list — no backtracking re-run.  This is exact:
+        the candidate occupies the final ring position.
+        """
+        names = list(self._token_names)
+        index = dict(self._token_index)
+        for token in sorted(candidate.tokens):
+            if token not in index:
+                index[token] = len(names)
+                names.append(token)
+        cand_indices = sorted(index[token] for token in candidate.tokens)
+
+        extended: list[tuple[int, ...]] = []
+        steps = 0
+        if not self.rings:
+            extended = [(idx,) for idx in cand_indices]
+        else:
+            for world in self.worlds:
+                steps += 1
+                if deadline is not None and steps % _DEADLINE_STRIDE == 0:
+                    if time.perf_counter() > deadline:
+                        raise DeadlineExceeded("world extension passed its deadline")
+                used = set(world)
+                for idx in cand_indices:
+                    if idx not in used:
+                        extended.append(world + (idx,))
+        return WorldSet(
+            self.rings + [candidate],
+            _worlds=extended,
+            _token_names=names,
+        )
+
+    # -- views ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.worlds)
+
+    def token_name(self, index: int) -> str:
+        return self._token_names[index]
+
+    def as_dicts(self) -> list[dict[str, str]]:
+        """Worlds in the seed's {rid: token} form (tests, debugging)."""
+        rids = [ring.rid for ring in self.rings]
+        return [
+            {rid: self._token_names[idx] for rid, idx in zip(rids, world)}
+            for world in self.worlds
+        ]
+
+    def pair_masks(self) -> dict[tuple[int, int], int]:
+        """(ring position, token index) -> bitmask of consistent worlds."""
+        if self._pair_masks is None:
+            masks: dict[tuple[int, int], int] = {}
+            for w, world in enumerate(self.worlds):
+                bit = 1 << w
+                for position, token in enumerate(world):
+                    key = (position, token)
+                    masks[key] = masks.get(key, 0) | bit
+            self._pair_masks = masks
+        return self._pair_masks
+
+    def possible_tokens_of(self, rid: str) -> frozenset[str]:
+        """Tokens the ring takes in at least one world (free, from masks)."""
+        position = self._position_of[rid]
+        return frozenset(
+            self._token_names[token]
+            for (pos, token) in self.pair_masks()
+            if pos == position
+        )
+
+    # -- DTRS enumeration (Algorithm 3 on masks) ---------------------------
+
+    def dtrss_of(
+        self,
+        target_rid: str,
+        universe: TokenUniverse,
+        max_size: int | None = None,
+        deadline: float | None = None,
+    ):
+        """Minimal DTRSs of ``target_rid`` within this ring set.
+
+        Returns the same set of :class:`~repro.core.dtrs.Dtrs` objects
+        as the seed ``get_dtrss`` (order canonicalized: by size, then by
+        sorted pairs).  Results are memoized per (target, max_size).
+        """
+        from ..dtrs import Dtrs
+
+        key = (target_rid, max_size)
+        cached = self._dtrs_cache.get(key)
+        if cached is not None:
+            return list(cached)
+
+        if target_rid not in self._position_of:
+            raise ValueError("target ring must be a member of the ring set")
+        if not self.worlds:
+            self._dtrs_cache[key] = []
+            return []
+
+        target_pos = self._position_of[target_rid]
+        masks = self.pair_masks()
+
+        # HT masks of the target: worlds grouped by the HT of the
+        # target's assigned token.
+        ht_masks: dict[str, int] = {}
+        for (pos, token), mask in masks.items():
+            if pos == target_pos:
+                ht = universe.ht_of(self._token_names[token])
+                ht_masks[ht] = ht_masks.get(ht, 0) | mask
+        full = self._full_mask
+
+        def determined_ht(mask: int) -> str | None:
+            # Memoization lives in the precomputed masks: the check is a
+            # couple of big-int ANDs instead of a world scan.
+            for ht, ht_mask in ht_masks.items():
+                if mask & ~ht_mask == 0:
+                    return ht
+            return None
+
+        # Per non-target ring: the tokens it takes across worlds, with
+        # their masks — the realizable pair universe.
+        positions = [pos for pos in range(len(self.rings)) if pos != target_pos]
+        pairs_by_position: dict[int, list[tuple[int, int]]] = {
+            pos: [] for pos in positions
+        }
+        for (pos, token), mask in masks.items():
+            if pos != target_pos:
+                pairs_by_position[pos].append((token, mask))
+        for pos in positions:
+            pairs_by_position[pos].sort()
+
+        cap = len(positions) if max_size is None else min(max_size, len(positions))
+        index = _DominanceIndex()
+        found: list[tuple[frozenset[tuple[int, int]], str]] = []
+        steps = 0
+
+        def check_deadline() -> None:
+            nonlocal steps
+            steps += 1
+            if deadline is not None and steps % _DEADLINE_STRIDE == 0:
+                if time.perf_counter() > deadline:
+                    raise DeadlineExceeded("DTRS enumeration passed its deadline")
+
+        # Size 0: the empty pair set. If it determines (single HT over
+        # all worlds), it dominates everything else — done immediately.
+        ht = determined_ht(full)
+        if ht is not None:
+            result = [Dtrs(pairs=frozenset(), determined_ht=ht)]
+            self._dtrs_cache[key] = result
+            return list(result)
+
+        for size in range(1, cap + 1):
+            for chosen_positions in subset_combinations(positions, size):
+
+                def descend(
+                    depth: int, mask: int, pairs: tuple[tuple[int, int], ...]
+                ) -> None:
+                    check_deadline()
+                    if mask == 0:
+                        return  # unrealizable — no world holds these pairs
+                    if depth == size:
+                        pair_set = frozenset(pairs)
+                        if index.dominated(pair_set):
+                            return
+                        ht = determined_ht(mask)
+                        if ht is not None:
+                            index.add(pair_set)
+                            found.append((pair_set, ht))
+                        return
+                    pos = chosen_positions[depth]
+                    for token, pair_mask in pairs_by_position[pos]:
+                        descend(
+                            depth + 1, mask & pair_mask, pairs + ((pos, token),)
+                        )
+
+                descend(0, full, ())
+
+        result = [
+            Dtrs(
+                pairs=frozenset(
+                    (self._token_names[token], self.rings[pos].rid)
+                    for pos, token in pair_set
+                ),
+                determined_ht=ht,
+            )
+            for pair_set, ht in found
+        ]
+        result.sort(key=lambda d: (len(d.pairs), sorted(d.pairs)))
+        self._dtrs_cache[key] = result
+        return list(result)
+
+
+class _DominanceIndex:
+    """Sublinear ``dominated()`` for minimal-set enumeration.
+
+    Found sets are bucketed by their minimum element; a set ``f`` can
+    only dominate ``candidate`` if ``min(f)`` is one of candidate's own
+    elements, so the check scans |candidate| small buckets instead of
+    the full found list.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple[int, int], list[frozenset[tuple[int, int]]]] = {}
+
+    def add(self, pairs: frozenset[tuple[int, int]]) -> None:
+        anchor = min(pairs)
+        self._buckets.setdefault(anchor, []).append(pairs)
+
+    def dominated(self, candidate: frozenset[tuple[int, int]]) -> bool:
+        for element in candidate:
+            for existing in self._buckets.get(element, ()):
+                if existing <= candidate:
+                    return True
+        return False

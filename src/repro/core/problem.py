@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from .combinations import possible_consumed_tokens
 from .diversity import ht_counts_satisfy
 from .dtrs import get_dtrss
 from .ring import Ring, TokenUniverse, related_ring_set
@@ -65,6 +64,8 @@ class DamsInstance:
             raise ValueError(f"target token {self.target_token!r} not in universe")
         if self.c <= 0 or self.ell < 1:
             raise ValueError("invalid diversity requirement")
+        if len({ring.rid for ring in self.rings}) != len(self.rings):
+            raise ValueError("ring history contains duplicate rids")
         self._next_seq = 1 + max((ring.seq for ring in self.rings), default=-1)
 
     def candidate_mixins(self) -> frozenset[str]:
@@ -101,12 +102,14 @@ def check_non_eliminated_constraint(
     """No token of any ring in the closure may be eliminated.
 
     Polynomial: for every ring r and token t in r there must exist a
-    token-RS combination assigning t to r (matching feasibility).
+    token-RS combination assigning t to r.  One maximum matching is
+    built for the whole closure and each (r, t) query is an
+    augmenting-path repair on it.
     """
-    for ring in closure:
-        if possible_consumed_tokens(ring, closure) != ring.tokens:
-            return False
-    return True
+    from .perf.matching import IncrementalMatcher
+
+    matcher = IncrementalMatcher(closure)
+    return all(matcher.non_eliminated(ring.rid) for ring in closure)
 
 
 def check_immutability_constraint(

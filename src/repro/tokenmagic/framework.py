@@ -50,12 +50,17 @@ class TokenMagicConfig:
             randomization.  When False the selector runs once, directly
             for the target token (deterministic; what the paper's
             efficiency experiments time).
+        parallel_workers: fan exact-solver candidate scans and
+            chain-reaction audits across this many processes (<= 1
+            keeps everything serial; results are identical either way,
+            see :mod:`repro.core.perf.parallel`).
     """
 
     batch_lambda: int = 100
     eta: float = 0.0
     apply_second_config: bool = True
     candidate_mode: bool = False
+    parallel_workers: int = 0
 
 
 class TokenMagic:
@@ -146,6 +151,65 @@ class TokenMagic:
         )
         self._check_admissible(registry, chosen, c, ell)
         return chosen
+
+    def generate_ring_exact(
+        self,
+        token_id: str,
+        c: float,
+        ell: int,
+        time_budget: float | None = None,
+        max_mixins: int | None = None,
+    ) -> SelectionResult:
+        """Produce a ring via the exact BFS solver (the paper's TM_B).
+
+        Unlike :meth:`generate_ring`, this solves the DA-MS instance
+        exactly over the batch universe (no practical-configuration
+        module decomposition), using the solver performance layer and —
+        when ``config.parallel_workers`` > 1 — the deterministic
+        multiprocess candidate fan-out.
+
+        Raises:
+            InfeasibleError: the batch cannot satisfy the request.
+            SearchBudgetExceeded: the time budget ran out first.
+            ReserveViolation: the eta rule forbids another ring.
+        """
+        from ..core.bfs import bfs_select
+        from ..core.problem import DamsInstance
+
+        batch = batch_of_token(self.batches(), token_id)
+        registry = self.registry_for(batch)
+        instance = DamsInstance(
+            batch.universe, list(registry.rings), token_id, c=c, ell=ell
+        )
+        solved = bfs_select(
+            instance,
+            time_budget=time_budget,
+            max_mixins=max_mixins,
+            workers=self.config.parallel_workers,
+        )
+        result = SelectionResult(
+            tokens=solved.ring.tokens,
+            target_token=token_id,
+            modules=(),
+            elapsed=solved.elapsed,
+            algorithm="bfs",
+        )
+        self._check_admissible(registry, result, c, ell)
+        return result
+
+    def audit_batch(self, batch: Batch):
+        """Chain-reaction audit of every ring proposed over ``batch``.
+
+        Runs the exact matching-based possibility analysis (what an
+        information-theoretically optimal adversary learns), fanned
+        across ``config.parallel_workers`` processes when configured.
+        """
+        from ..analysis.chain_reaction import exact_analysis
+
+        registry = self.registry_for(batch)
+        return exact_analysis(
+            list(registry.rings), workers=self.config.parallel_workers
+        )
 
     def commit_ring(self, result: SelectionResult, c: float, ell: int) -> Ring:
         """Record a generated ring in its batch registry and return it."""

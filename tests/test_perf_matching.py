@@ -1,0 +1,120 @@
+"""IncrementalMatcher vs the frozen seed matching implementations.
+
+The matcher must answer exactly what the seed's fresh-Kuhn-per-query
+functions answered, for completeness, per-ring possible-token sets and
+the non-eliminated predicate — across random ring systems, forced
+assignments (side information) and excluded tokens.
+"""
+
+import random
+
+import pytest
+
+from repro.core.perf.matching import IncrementalMatcher
+from repro.core.perf.reference import (
+    check_non_eliminated_reference,
+    has_complete_assignment_reference,
+    possible_consumed_tokens_reference,
+)
+from repro.core.ring import Ring
+
+
+def make_ring(rid, tokens, seq=0):
+    return Ring(rid=rid, tokens=frozenset(tokens), c=1.0, ell=1, seq=seq)
+
+
+def random_rings(rng, token_count, ring_count, max_size):
+    tokens = [f"t{i}" for i in range(token_count)]
+    rings = []
+    for i in range(ring_count):
+        size = rng.randint(1, max_size)
+        rings.append(make_ring(f"r{i}", rng.sample(tokens, size), seq=i))
+    return rings
+
+
+class TestCompleteness:
+    def test_single_trivial_ring(self):
+        rings = [make_ring("r0", {"a"})]
+        assert IncrementalMatcher(rings).complete
+
+    def test_overconstrained_system(self):
+        # Three rings over two tokens: pigeonhole says no matching.
+        rings = [make_ring(f"r{i}", {"a", "b"}, seq=i) for i in range(3)]
+        matcher = IncrementalMatcher(rings)
+        assert not matcher.complete
+        assert matcher.possible_tokens("r0") == frozenset()
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_reference_on_random_systems(self, seed):
+        rng = random.Random(seed)
+        rings = random_rings(rng, token_count=8, ring_count=rng.randint(2, 6), max_size=4)
+        assert IncrementalMatcher(rings).complete == has_complete_assignment_reference(
+            rings
+        )
+
+
+class TestPossibleTokens:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_reference_per_ring(self, seed):
+        rng = random.Random(100 + seed)
+        rings = random_rings(rng, token_count=9, ring_count=rng.randint(2, 6), max_size=4)
+        matcher = IncrementalMatcher(rings)
+        for ring in rings:
+            assert matcher.possible_tokens(ring.rid) == (
+                possible_consumed_tokens_reference(ring, rings)
+            ), f"disagreement on {ring.rid} (seed {seed})"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_forced_side_information(self, seed):
+        rng = random.Random(200 + seed)
+        rings = random_rings(rng, token_count=8, ring_count=4, max_size=4)
+        pinned = rings[0]
+        forced = {pinned.rid: sorted(pinned.tokens)[0]}
+        matcher = IncrementalMatcher(rings, forced=forced)
+        for ring in rings:
+            assert matcher.possible_tokens(ring.rid) == (
+                possible_consumed_tokens_reference(ring, rings, forced=forced)
+            )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_excluded_tokens(self, seed):
+        rng = random.Random(300 + seed)
+        rings = random_rings(rng, token_count=8, ring_count=4, max_size=4)
+        excluded = frozenset(rng.sample([f"t{i}" for i in range(8)], 2))
+        matcher = IncrementalMatcher(rings, excluded_tokens=excluded)
+        assert matcher.complete == has_complete_assignment_reference(
+            rings, excluded_tokens=excluded
+        )
+        if matcher.complete:
+            for ring in rings:
+                assert matcher.possible_tokens(ring.rid) == (
+                    possible_consumed_tokens_reference(
+                        ring, rings, excluded_tokens=excluded
+                    )
+                )
+
+
+class TestNonEliminated:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_reference_predicate(self, seed):
+        rng = random.Random(400 + seed)
+        rings = random_rings(rng, token_count=8, ring_count=rng.randint(2, 6), max_size=4)
+        matcher = IncrementalMatcher(rings)
+        ours = matcher.complete and all(
+            matcher.non_eliminated(ring.rid) for ring in rings
+        )
+        assert ours == check_non_eliminated_reference(rings)
+
+    def test_query_mutation_keeps_matching_consistent(self):
+        # Long interleaved query sequences must not corrupt the base
+        # matching (queries adopt repaired matchings opportunistically).
+        rng = random.Random(7)
+        rings = random_rings(rng, token_count=10, ring_count=6, max_size=5)
+        matcher = IncrementalMatcher(rings)
+        if not matcher.complete:
+            return
+        for _ in range(50):
+            ring = rings[rng.randrange(len(rings))]
+            token = rng.choice(sorted(ring.tokens))
+            expected = token in possible_consumed_tokens_reference(ring, rings)
+            assert matcher.can_consume(ring.rid, token) == expected

@@ -1,0 +1,140 @@
+"""WorldSet (compact bitset worlds + memoized DTRS enumeration) vs seed.
+
+Equivalence targets:
+
+* the world set itself equals ``enumerate_combinations`` (as sets of
+  rid -> token dicts),
+* ``dtrss_of`` produces exactly the seed ``get_dtrss_reference`` DTRSs
+  (same (pairs, determined HT) sets),
+* ``extend`` (the shared-prefix closure used by the solver cache)
+  equals building the closure's WorldSet from scratch,
+* deadline enforcement raises inside enumeration, not after it.
+"""
+
+import random
+
+import pytest
+
+from repro.core.combinations import enumerate_combinations
+from repro.core.dtrs import get_dtrss
+from repro.core.perf.reference import get_dtrss_reference
+from repro.core.perf.worlds import DeadlineExceeded, WorldSet
+from repro.core.ring import Ring, TokenUniverse
+
+
+def make_ring(rid, tokens, seq=0, c=1.0, ell=1):
+    return Ring(rid=rid, tokens=frozenset(tokens), c=c, ell=ell, seq=seq)
+
+
+def random_system(seed, token_count=8, ring_count=None, max_size=4, ht_count=4):
+    rng = random.Random(seed)
+    tokens = [f"t{i}" for i in range(token_count)]
+    universe = TokenUniverse(
+        {token: f"h{rng.randrange(ht_count)}" for token in tokens}
+    )
+    count = ring_count if ring_count is not None else rng.randint(2, 5)
+    rings = [
+        make_ring(f"r{i}", rng.sample(tokens, rng.randint(1, max_size)), seq=i)
+        for i in range(count)
+    ]
+    return universe, rings
+
+
+def world_key(world):
+    return frozenset(world.items())
+
+
+class TestWorldEnumeration:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_equals_enumerate_combinations(self, seed):
+        _, rings = random_system(seed)
+        ours = {world_key(w) for w in WorldSet(rings).as_dicts()}
+        expected = {world_key(w) for w in enumerate_combinations(rings)}
+        assert ours == expected
+
+    def test_duplicate_rids_rejected(self):
+        rings = [make_ring("r0", {"a"}), make_ring("r0", {"b"}, seq=1)]
+        with pytest.raises(ValueError):
+            WorldSet(rings)
+
+    def test_empty_ring_set_has_one_empty_world(self):
+        worlds = WorldSet([])
+        assert worlds.as_dicts() == [{}]
+
+
+class TestExtend:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_extend_equals_rebuild(self, seed):
+        _, rings = random_system(600 + seed, token_count=9)
+        candidate = make_ring("r_tau", {"t0", "t4", "t7"}, seq=len(rings))
+        base = WorldSet(rings)
+        extended = {world_key(w) for w in base.extend(candidate).as_dicts()}
+        rebuilt = {
+            world_key(w) for w in WorldSet(rings + [candidate]).as_dicts()
+        }
+        assert extended == rebuilt
+
+    def test_extend_empty_base(self):
+        candidate = make_ring("r_tau", {"a", "b"})
+        worlds = WorldSet([]).extend(candidate)
+        assert {world_key(w) for w in worlds.as_dicts()} == {
+            frozenset({("r_tau", "a")}),
+            frozenset({("r_tau", "b")}),
+        }
+
+
+def dtrs_keys(dtrss):
+    return {(dtrs.pairs, dtrs.determined_ht) for dtrs in dtrss}
+
+
+class TestDtrsEquivalence:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_dtrss_of_matches_reference(self, seed):
+        universe, rings = random_system(700 + seed)
+        worlds = WorldSet(rings)
+        for target in rings:
+            assert dtrs_keys(
+                worlds.dtrss_of(target.rid, universe)
+            ) == dtrs_keys(get_dtrss_reference(target, rings, universe)), (
+                f"DTRS disagreement for {target.rid} (seed {seed})"
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_public_get_dtrss_matches_reference(self, seed):
+        universe, rings = random_system(800 + seed)
+        for target in rings:
+            assert dtrs_keys(get_dtrss(target, rings, universe)) == dtrs_keys(
+                get_dtrss_reference(target, rings, universe)
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_max_size_cap_matches_reference(self, seed):
+        universe, rings = random_system(900 + seed, ring_count=4)
+        target = rings[0]
+        for cap in (0, 1, 2):
+            assert dtrs_keys(
+                WorldSet(rings).dtrss_of(target.rid, universe, max_size=cap)
+            ) == dtrs_keys(
+                get_dtrss_reference(target, rings, universe, max_size=cap)
+            )
+
+    def test_memoized_repeat_query_hits_cache(self):
+        universe, rings = random_system(1)
+        worlds = WorldSet(rings)
+        first = worlds.dtrss_of(rings[0].rid, universe)
+        second = worlds.dtrss_of(rings[0].rid, universe)
+        # The list is a defensive copy but its entries come straight
+        # from the cache — same Dtrs objects, no re-enumeration.
+        assert second == first
+        assert all(a is b for a, b in zip(first, second))
+
+
+class TestDeadline:
+    def test_deadline_trips_inside_enumeration(self):
+        # 10 rings over 11 tokens, all full: ~10^7-world blow-up.  A
+        # deadline in the past must abort the backtracking immediately
+        # instead of enumerating to completion first.
+        tokens = {f"t{i}" for i in range(11)}
+        rings = [make_ring(f"r{i}", tokens, seq=i) for i in range(10)]
+        with pytest.raises(DeadlineExceeded):
+            WorldSet(rings, deadline=0.0)
