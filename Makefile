@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench verify
+.PHONY: test lint bench-smoke bench verify
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks
 
 # Sub-minute perf guard: the before/after BFS ladder (writes
 # benchmarks/results/BENCH_bfs.json) with tight, env-overridable caps.

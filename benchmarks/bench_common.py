@@ -14,6 +14,7 @@ import os
 from pathlib import Path
 
 from repro.experiments.harness import SweepResult, format_table
+from repro.obs import metrics as obs_metrics
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -45,8 +46,22 @@ def save_text(filename: str, text: str) -> Path:
     return path
 
 
-def save_json(filename: str, payload: dict) -> Path:
-    """Machine-readable artifact (perf tracking across PRs)."""
+def save_json(
+    filename: str, payload: dict, recorder: obs_metrics.MemoryRecorder | None = None
+) -> Path:
+    """Machine-readable artifact (perf tracking across PRs).
+
+    When a recorder is given — or one is actively installed via
+    ``repro.obs.metrics`` — its snapshot is attached under a
+    ``"metrics"`` key so the artifact carries cache hit rates and
+    candidate counts alongside the timings.
+    """
+    if recorder is None:
+        candidate = obs_metrics.active()
+        if isinstance(candidate, obs_metrics.MemoryRecorder):
+            recorder = candidate
+    if recorder is not None and "metrics" not in payload:
+        payload = {**payload, "metrics": recorder.snapshot()}
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / filename
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -12,7 +12,7 @@ The bench measures, over the Monero-shaped data set:
 
 import statistics
 
-from repro.core.modules import ModuleUniverse, ring_is_recursive_diverse_config
+from repro.core.modules import ring_is_recursive_diverse_config
 from repro.core.problem import InfeasibleError
 from repro.core.progressive import progressive_select
 from repro.core.ring import Ring

@@ -30,6 +30,7 @@ from repro.core.bfs import SearchBudgetExceeded, bfs_select
 from repro.core.perf.reference import bfs_select_reference
 from repro.core.problem import DamsInstance, InfeasibleError
 from repro.core.ring import Ring, TokenUniverse
+from repro.obs import metrics as obs_metrics
 
 from bench_common import save_json, save_text
 
@@ -115,7 +116,10 @@ def _ladder(solver, budget, total_cap=None):
 
 def test_bfs_perf_layer_speedup():
     bench_start = time.perf_counter()
-    optimized = _ladder(bfs_select, OPT_BUDGET)
+    # The optimized run records solver metrics; the snapshot rides along
+    # in BENCH_bfs.json so cache hit rates are tracked next to timings.
+    with obs_metrics.recording() as recorder:
+        optimized = _ladder(bfs_select, OPT_BUDGET)
     reference = _ladder(bfs_select_reference, REF_BUDGET, total_cap=REF_TOTAL)
 
     ref_by_index = {row["ring_index"]: row for row in reference}
@@ -174,7 +178,7 @@ def test_bfs_perf_layer_speedup():
         },
         "total_bench_seconds": total,
     }
-    save_json("BENCH_bfs.json", payload)
+    save_json("BENCH_bfs.json", payload, recorder=recorder)
 
     lines = ["# Exact-BFS perf layer: seed vs optimized (per ladder rung)", ""]
     lines.append(

@@ -7,7 +7,6 @@ size 11, pure-python signing is the dominant cost, which is exactly why
 the paper argues Step 1's extra milliseconds are immaterial.
 """
 
-from repro.chain.blockchain import Blockchain
 from repro.crypto.keys import keypair_from_seed
 from repro.crypto.lsag import sign, verify
 

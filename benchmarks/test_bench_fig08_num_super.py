@@ -12,7 +12,7 @@ Paper claims reproduced as assertions:
 from repro.experiments.figures import fig8_vary_super_count
 from repro.experiments.tables import settings_banner
 
-from bench_common import INSTANCES_PER_POINT, mean, trend, write_figure
+from bench_common import INSTANCES_PER_POINT, trend, write_figure
 
 
 def test_fig8_effect_of_super_count(benchmark):

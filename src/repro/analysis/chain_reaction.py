@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..core.perf.matching import IncrementalMatcher
+from ..obs import events, trace
 from ..core.perf.parallel import parallel_map_rings, resolve_workers
 from ..core.ring import Ring
 
@@ -67,24 +68,43 @@ def cascade_attack(
         side_information: known {rid: token} pairs (Definition 3);
             each pins its ring and removes the token everywhere else.
     """
-    possible: dict[str, set[str]] = {ring.rid: set(ring.tokens) for ring in rings}
-    known = dict(side_information or {})
-    for rid, token in known.items():
-        if rid in possible:
-            possible[rid] = {token}
+    with trace.span("attack.cascade", rings=len(rings)) as sp:
+        possible: dict[str, set[str]] = {
+            ring.rid: set(ring.tokens) for ring in rings
+        }
+        known = dict(side_information or {})
+        for rid, token in known.items():
+            if rid in possible:
+                possible[rid] = {token}
 
-    changed = True
-    while changed:
-        changed = False
-        for rid, tokens in possible.items():
-            if len(tokens) != 1:
-                continue
-            consumed = next(iter(tokens))
-            for other_rid, other_tokens in possible.items():
-                if other_rid != rid and consumed in other_tokens:
-                    other_tokens.discard(consumed)
-                    changed = True
-    return _result_from_possible({ring.rid: ring for ring in rings}, possible)
+        rounds = 0
+        changed = True
+        while changed:
+            rounds += 1
+            changed = False
+            for rid, tokens in possible.items():
+                if len(tokens) != 1:
+                    continue
+                consumed = next(iter(tokens))
+                for other_rid, other_tokens in possible.items():
+                    if other_rid != rid and consumed in other_tokens:
+                        other_tokens.discard(consumed)
+                        changed = True
+        result = _result_from_possible(
+            {ring.rid: ring for ring in rings}, possible
+        )
+        if sp is not None:
+            sp.attrs["rounds"] = rounds
+            sp.attrs["deanonymized"] = len(result.deanonymized)
+        if events.enabled():
+            events.emit(
+                events.AttackAnalyzed(
+                    kind="cascade",
+                    rings=len(rings),
+                    deanonymized=len(result.deanonymized),
+                )
+            )
+        return result
 
 
 def exact_analysis(
@@ -104,21 +124,36 @@ def exact_analysis(
             (<= 1 means serial).  The result is identical either way —
             each ring's possible set is independent of sweep order.
     """
-    forced = dict(side_information or {})
-    by_rid = {ring.rid: ring for ring in rings}
-    matcher = IncrementalMatcher(rings, forced)
-    if not matcher.complete:
-        # Contradictory side information: nothing is possible.
-        return _result_from_possible(by_rid, {ring.rid: set() for ring in rings})
-    workers = resolve_workers(workers)
-    if workers:
-        fanned = parallel_map_rings(rings, forced, workers)
-        possible = {rid: set(tokens) for rid, tokens in fanned.items()}
-    else:
-        possible = {
-            ring.rid: set(matcher.possible_tokens(ring.rid)) for ring in rings
-        }
-    return _result_from_possible(by_rid, possible)
+    with trace.span("attack.exact", rings=len(rings), workers=workers) as sp:
+        forced = dict(side_information or {})
+        by_rid = {ring.rid: ring for ring in rings}
+        matcher = IncrementalMatcher(rings, forced)
+        if not matcher.complete:
+            # Contradictory side information: nothing is possible.
+            return _result_from_possible(
+                by_rid, {ring.rid: set() for ring in rings}
+            )
+        workers = resolve_workers(workers)
+        if workers:
+            fanned = parallel_map_rings(rings, forced, workers)
+            possible = {rid: set(tokens) for rid, tokens in fanned.items()}
+        else:
+            possible = {
+                ring.rid: set(matcher.possible_tokens(ring.rid))
+                for ring in rings
+            }
+        result = _result_from_possible(by_rid, possible)
+        if sp is not None:
+            sp.attrs["deanonymized"] = len(result.deanonymized)
+        if events.enabled():
+            events.emit(
+                events.AttackAnalyzed(
+                    kind="exact",
+                    rings=len(rings),
+                    deanonymized=len(result.deanonymized),
+                )
+            )
+        return result
 
 
 def _result_from_possible(

@@ -18,10 +18,10 @@ token universe (token -> HT) and the ring set proposed so far.
 
 from __future__ import annotations
 
-import time as _time
 from typing import Callable, Iterable
 
 from ..core.ring import Ring, RingSet, TokenUniverse
+from ..obs.clock import Clock, wall_clock
 from ..crypto.hashing import sha512
 from ..crypto.lsag import verify as lsag_verify
 from .block import GENESIS_HASH, Block
@@ -43,14 +43,19 @@ class Blockchain:
         verify_signatures: verify bLSAG proofs on inputs that carry one
             (pure-python crypto; disable for large simulations).
         policy_verifiers: extra Step-3 checks applied to every ring input.
+        clock: timestamp source for :meth:`make_block` (defaults to
+            wall time; pass a :class:`~repro.obs.clock.ManualClock` for
+            deterministic simulations and traces).
     """
 
     def __init__(
         self,
         verify_signatures: bool = True,
         policy_verifiers: Iterable[PolicyVerifier] = (),
+        clock: Clock | None = None,
     ) -> None:
         self.blocks: list[Block] = []
+        self.clock: Clock = wall_clock if clock is None else clock
         self.verify_signatures = verify_signatures
         self.policy_verifiers: list[PolicyVerifier] = list(policy_verifiers)
         self._tokens: dict[str, TokenOutput] = {}
@@ -203,6 +208,6 @@ class Blockchain:
         return Block(
             height=self.height,
             prev_hash=self.tip_hash,
-            timestamp=_time.time() if timestamp is None else timestamp,
+            timestamp=self.clock() if timestamp is None else timestamp,
             transactions=tuple(transactions),
         )

@@ -9,6 +9,10 @@ Usage::
 
 Each figure command prints the same table its benchmark writes; the
 ``sim`` command runs the longitudinal economy simulation.
+
+Every command also accepts the observability flags ``--metrics`` (print
+a counter/histogram summary after the run) and ``--trace-out PATH``
+(dump the hierarchical span tree as JSONL); see ``repro.obs``.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ from .experiments.figures import (
     fig10_vary_fresh,
 )
 from .experiments.harness import format_table
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 
 __all__ = ["main"]
 
@@ -101,12 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the paper's figures or run the economy sim.",
     )
+    # Observability flags shared by every subcommand (repro.obs).
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument("--metrics", action="store_true",
+                     help="record solver metrics and print a summary")
+    obs.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write hierarchical trace spans as JSONL to PATH")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    fig3 = sub.add_parser("fig3", help="output-count distribution (real)")
+    fig3 = sub.add_parser("fig3", parents=[obs],
+                          help="output-count distribution (real)")
     fig3.add_argument("--seed", type=int, default=0)
 
-    fig4 = sub.add_parser("fig4", help="BFS per-ring time explosion")
+    fig4 = sub.add_parser("fig4", parents=[obs],
+                          help="BFS per-ring time explosion")
     fig4.add_argument("--seed", type=int, default=0)
     fig4.add_argument("--budget", type=float, default=15.0,
                       help="per-ring wall-clock budget in seconds")
@@ -126,12 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig9", "vary |s_i| (synthetic)"),
         ("fig10", "vary |F| (synthetic)"),
     ]:
-        sweep = sub.add_parser(name, help=help_text)
+        sweep = sub.add_parser(name, parents=[obs], help=help_text)
         sweep.add_argument("--instances", type=int, default=25,
                            help="instances per sweep point (paper: 1000)")
         sweep.add_argument("--seed", type=int, default=0)
 
-    sim = sub.add_parser("sim", help="longitudinal economy simulation")
+    sim = sub.add_parser("sim", parents=[obs],
+                         help="longitudinal economy simulation")
     sim.add_argument("--ticks", type=int, default=10)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--algorithm", default="progressive",
@@ -140,8 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> None:
     if args.command == "fig3":
         _run_fig3(args)
     elif args.command == "fig4":
@@ -150,6 +164,38 @@ def main(argv: list[str] | None = None) -> int:
         _run_sim(args)
     else:
         _run_sweep(args.command, args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    want_metrics = getattr(args, "metrics", False)
+    trace_out = getattr(args, "trace_out", None)
+
+    if not want_metrics and trace_out is None:
+        _dispatch(args)
+        return 0
+
+    tracer = obs_trace.Tracer() if trace_out is not None else None
+    recorder = obs_metrics.MemoryRecorder() if want_metrics else None
+    try:
+        if tracer is not None and recorder is not None:
+            with obs_trace.tracing(tracer), obs_metrics.recording(recorder):
+                _dispatch(args)
+        elif tracer is not None:
+            with obs_trace.tracing(tracer):
+                _dispatch(args)
+        else:
+            assert recorder is not None
+            with obs_metrics.recording(recorder):
+                _dispatch(args)
+    finally:
+        # Flush whatever was observed even if the command raised.
+        if recorder is not None:
+            print()
+            print(obs_metrics.format_summary(recorder.snapshot()))
+        if tracer is not None:
+            count = tracer.export_jsonl(trace_out)
+            print(f"wrote {count} spans to {trace_out}")
     return 0
 
 

@@ -44,6 +44,7 @@ import time
 from dataclasses import dataclass
 from itertools import combinations as subset_combinations
 
+from ..obs import events, metrics, trace
 from .diversity import ht_counts_satisfy
 from .perf.cache import SolverCache
 from .perf.matching import IncrementalMatcher
@@ -56,7 +57,31 @@ __all__ = ["BfsResult", "bfs_select", "SearchBudgetExceeded"]
 
 
 class SearchBudgetExceeded(RuntimeError):
-    """Raised when the exact search exceeds its time/node budget."""
+    """Raised when the exact search exceeds its time/node budget.
+
+    Carries a best-effort payload locating the trip inside the search
+    (the seed only reported elapsed time, which made Figure-4 budget
+    rows impossible to compare across runs):
+
+    Attributes:
+        size: the mixin-set size stratum being scanned at the trip.
+        scanned_in_size: candidates of that size whose check had
+            started when the budget ran out.
+        margin_s: ``deadline - now`` at the trip (negative means the
+            search overshot the budget by that much).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        size: int | None = None,
+        scanned_in_size: int | None = None,
+        margin_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.size = size
+        self.scanned_in_size = scanned_in_size
+        self.margin_s = margin_s
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,45 +139,139 @@ def bfs_select(
         cache = SolverCache(instance.universe, instance.rings)
     checked = 0
 
-    for size in range(lower, upper + 1):
-        stream = subset_combinations(sigma, size)
-        if workers:
-            outcome, index, winner = scan_candidates(
-                instance, stream, workers, deadline=deadline
-            )
-            if outcome == "budget":
-                raise SearchBudgetExceeded(
-                    f"exact BFS exceeded {time_budget:.1f}s after "
-                    f"{checked + index} candidates"
-                )
-            if outcome == "found":
-                checked += index + 1
-                return BfsResult(
-                    ring=instance.make_ring(winner),
-                    mixins=frozenset(winner),
-                    candidates_checked=checked,
-                    elapsed=time.perf_counter() - start,
-                )
-            checked += index
-            continue
-        for mixin_tuple in stream:
-            if deadline is not None and time.perf_counter() > deadline:
-                raise SearchBudgetExceeded(
-                    f"exact BFS exceeded {time_budget:.1f}s after {checked} candidates"
-                )
-            checked += 1
-            candidate = instance.make_ring(mixin_tuple)
-            if _candidate_feasible(instance, candidate, cache=cache, deadline=deadline):
-                return BfsResult(
-                    ring=candidate,
-                    mixins=frozenset(mixin_tuple),
-                    candidates_checked=checked,
-                    elapsed=time.perf_counter() - start,
-                )
-    raise InfeasibleError(
-        f"no feasible ring for token {instance.target_token!r} under "
-        f"({instance.c}, {instance.ell})-diversity"
+    with trace.span(
+        "bfs.select",
+        target=instance.target_token,
+        mixin_pool=len(sigma),
+        budget=time_budget,
+        workers=workers,
+    ) as select_span:
+        for size in range(lower, upper + 1):
+            with trace.span("bfs.stratum", size=size) as stratum_span:
+                scanned_in_size = 0
+                stream = subset_combinations(sigma, size)
+                if workers:
+                    outcome, index, winner = scan_candidates(
+                        instance, stream, workers, deadline=deadline
+                    )
+                    if stratum_span is not None:
+                        stratum_span.attrs["candidates"] = index + (
+                            1 if outcome == "found" else 0
+                        )
+                    if outcome == "budget":
+                        raise _trip_budget(
+                            time_budget, checked + index + 1, size, index + 1,
+                            deadline,
+                        )
+                    if outcome == "found":
+                        checked += index + 1
+                        return _finish(
+                            select_span, instance.make_ring(winner),
+                            frozenset(winner), checked, start,
+                        )
+                    checked += index
+                    if events.enabled():
+                        events.emit(
+                            events.StratumExhausted(size=size, candidates=index)
+                        )
+                    continue
+                for mixin_tuple in stream:
+                    if deadline is not None and time.perf_counter() > deadline:
+                        raise _trip_budget(
+                            time_budget, checked, size, scanned_in_size, deadline
+                        )
+                    checked += 1
+                    scanned_in_size += 1
+                    candidate = instance.make_ring(mixin_tuple)
+                    try:
+                        feasible = _candidate_feasible(
+                            instance, candidate, cache=cache, deadline=deadline
+                        )
+                    except SearchBudgetExceeded as exc:
+                        _annotate_trip(exc, size, scanned_in_size, deadline)
+                        raise
+                    if feasible:
+                        if stratum_span is not None:
+                            stratum_span.attrs["candidates"] = scanned_in_size
+                        return _finish(
+                            select_span, candidate, frozenset(mixin_tuple),
+                            checked, start,
+                        )
+                if stratum_span is not None:
+                    stratum_span.attrs["candidates"] = scanned_in_size
+                if events.enabled():
+                    events.emit(
+                        events.StratumExhausted(
+                            size=size, candidates=scanned_in_size
+                        )
+                    )
+        raise InfeasibleError(
+            f"no feasible ring for token {instance.target_token!r} under "
+            f"({instance.c}, {instance.ell})-diversity"
+        )
+
+
+def _finish(
+    select_span, ring: Ring, mixins: frozenset[str], checked: int, start: float
+) -> BfsResult:
+    """Assemble the result and flush the per-call observability."""
+    elapsed = time.perf_counter() - start
+    rec = metrics.active()
+    if rec is not None:
+        rec.observe("bfs.select_s", elapsed)
+        rec.count("bfs.selected")
+    if select_span is not None:
+        select_span.attrs["ring_size"] = len(ring.tokens)
+        select_span.attrs["candidates_checked"] = checked
+    return BfsResult(
+        ring=ring, mixins=mixins, candidates_checked=checked, elapsed=elapsed
     )
+
+
+def _trip_budget(
+    time_budget: float | None,
+    checked: int,
+    size: int,
+    scanned_in_size: int,
+    deadline: float | None,
+) -> SearchBudgetExceeded:
+    """Build the enriched budget exception and emit its event."""
+    margin = 0.0 if deadline is None else deadline - time.perf_counter()
+    if events.enabled():
+        events.emit(
+            events.DeadlineTripped(
+                size=size, scanned_in_size=scanned_in_size, margin_s=margin
+            )
+        )
+    budget_text = "?" if time_budget is None else f"{time_budget:.1f}"
+    return SearchBudgetExceeded(
+        f"exact BFS exceeded {budget_text}s after {checked} candidates "
+        f"({scanned_in_size} of size {size})",
+        size=size,
+        scanned_in_size=scanned_in_size,
+        margin_s=margin,
+    )
+
+
+def _annotate_trip(
+    exc: SearchBudgetExceeded,
+    size: int,
+    scanned_in_size: int,
+    deadline: float | None,
+) -> None:
+    """Attach stratum context to a budget trip raised mid-candidate."""
+    exc.size = size
+    exc.scanned_in_size = scanned_in_size
+    if exc.margin_s is None and deadline is not None:
+        exc.margin_s = deadline - time.perf_counter()
+    if events.enabled():
+        events.emit(
+            events.DeadlineTripped(
+                size=size,
+                scanned_in_size=scanned_in_size,
+                margin_s=exc.margin_s if exc.margin_s is not None else 0.0,
+            )
+        )
 
 
 def _candidate_feasible(
@@ -168,10 +287,14 @@ def _candidate_feasible(
             only noticed between candidates; see the module docstring).
     """
     universe = instance.universe
+    obs_on = events.enabled()
+    size = len(candidate.tokens) - 1  # mixin count: the stratum this is in
     # Line 6-8: the candidate's own HT multiset first — cheapest filter.
     if not ht_counts_satisfy(
         universe.ht_counts(candidate.tokens), candidate.c, candidate.ell
     ):
+        if obs_on:
+            events.emit(events.CandidateScanned(size=size, filtered_at="ht"))
         return False
 
     if cache is None:
@@ -184,6 +307,10 @@ def _candidate_feasible(
     # augmenting-path repair per (ring, token) query.
     matcher = IncrementalMatcher(closure)
     if not all(matcher.non_eliminated(ring.rid) for ring in closure):
+        if obs_on:
+            events.emit(
+                events.CandidateScanned(size=size, filtered_at="eliminated")
+            )
         return False
 
     # Lines 17-22: every ring's DTRSs must satisfy that ring's own
@@ -199,9 +326,16 @@ def _candidate_feasible(
                 if not ht_counts_satisfy(
                     universe.ht_counts(dtrs.tokens), ring.c, ring.ell
                 ):
+                    if obs_on:
+                        events.emit(
+                            events.CandidateScanned(size=size, filtered_at="dtrs")
+                        )
                     return False
     except DeadlineExceeded:
         raise SearchBudgetExceeded(
-            "exact BFS deadline passed inside a candidate's DTRS sweep"
+            "exact BFS deadline passed inside a candidate's DTRS sweep",
+            size=size,
         ) from None
+    if obs_on:
+        events.emit(events.CandidateScanned(size=size, filtered_at=None))
     return True

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs import trace
 from .ring import Ring, TokenUniverse
 
 __all__ = ["Dtrs", "get_dtrss", "ring_is_recursive_diverse_exact"]
@@ -84,8 +85,15 @@ def get_dtrss(
     if all(ring.rid != target.rid for ring in rings):
         raise ValueError("target ring must be a member of the ring set")
 
-    worlds = WorldSet(rings, deadline=deadline)
-    return worlds.dtrss_of(target.rid, universe, max_size=max_size, deadline=deadline)
+    with trace.span("dtrs.get_dtrss", target=target.rid, rings=len(rings)) as sp:
+        worlds = WorldSet(rings, deadline=deadline)
+        result = worlds.dtrss_of(
+            target.rid, universe, max_size=max_size, deadline=deadline
+        )
+        if sp is not None:
+            sp.attrs["worlds"] = len(worlds)
+            sp.attrs["found"] = len(result)
+        return result
 
 
 def ring_is_recursive_diverse_exact(

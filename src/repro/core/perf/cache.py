@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ...obs import events
 from ..ring import Ring, TokenUniverse
 from .worlds import WorldSet
 
@@ -137,10 +138,14 @@ class SolverCache:
         worlds = self._worlds.get(key)
         if worlds is None:
             self.stats.worlds_misses += 1
+            if events.enabled():
+                events.emit(events.CacheWorldsLookup(hit=False))
             worlds = WorldSet(self.related_rings(key), deadline=deadline)
             self._worlds[key] = worlds
         else:
             self.stats.worlds_hits += 1
+            if events.enabled():
+                events.emit(events.CacheWorldsLookup(hit=True))
         return worlds
 
     def closure_worlds(

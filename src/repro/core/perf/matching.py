@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from ...obs import metrics
 from ..ring import Ring
 
 __all__ = ["IncrementalMatcher"]
@@ -45,6 +46,7 @@ class IncrementalMatcher:
         "_match_of_token",
         "_match_of_ring",
         "_complete",
+        "_rec",
     )
 
     def __init__(
@@ -61,7 +63,14 @@ class IncrementalMatcher:
         self._candidates: list[list[str]] = candidates or []
         self._match_of_token: dict[str, int] = {}
         self._match_of_ring: dict[int, str] = {}
+        # Queries are the hottest instrumented site in the repo, so the
+        # recorder is captured once here (matchers are short-lived and
+        # built after any recorder is installed) — per-query disabled
+        # cost is one attribute load + None check.
+        self._rec = metrics.active()
         self._complete = candidates is not None and self._build()
+        if self._rec is not None:
+            self._rec.count("matcher.built")
 
     # -- base matching ----------------------------------------------------
 
@@ -99,6 +108,9 @@ class IncrementalMatcher:
 
     def can_consume(self, rid: str, token: str) -> bool:
         """Is ring ``rid`` -> ``token`` part of some complete combination?"""
+        rec = self._rec
+        if rec is not None:
+            rec.count("matcher.queries")
         if not self._complete:
             return False
         ring_index = self._index_of[rid]
@@ -118,6 +130,8 @@ class IncrementalMatcher:
         # Re-match the holder with ``token`` banned and the pinned ring
         # excluded from repairs.  On success adopt the new matching; a
         # failed repair leaves everything untouched.
+        if rec is not None:
+            rec.count("matcher.repairs")
         self._match_of_token[token] = ring_index
         del self._match_of_token[old_token]
         if self._try_assign(holder, {token}, banned_ring=ring_index):
@@ -125,6 +139,8 @@ class IncrementalMatcher:
             return True
         self._match_of_token[token] = holder
         self._match_of_token[old_token] = ring_index
+        if rec is not None:
+            rec.count("matcher.repair_failures")
         return False
 
     def possible_tokens(self, rid: str) -> frozenset[str]:

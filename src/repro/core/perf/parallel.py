@@ -16,6 +16,16 @@ own :class:`~repro.core.perf.cache.SolverCache` once per pool and keeps
 it across chunks.  Determinism does not depend on scheduling: results
 are consumed in submission order and the first hit wins.
 
+Observability: when the controller has a metrics recorder installed,
+each BFS worker wraps every candidate check in a private
+:class:`~repro.obs.metrics.MemoryRecorder` and ships the per-candidate
+snapshots back with the chunk outcome (the pool's result queue is the
+event queue).  The controller folds them in submission order up to the
+winning candidate, so merged counter totals equal a serial run's — see
+:mod:`repro.obs.events` for the protocol and the one documented
+exception (per-process cache counters).  Workers never trace; any
+tracer inherited across the fork is uninstalled at pool init.
+
 Everything defaults off (``workers <= 1`` means serial) — on small
 instances process startup dwarfs the work, and the caching layer alone
 usually clears the budget.
@@ -27,6 +37,7 @@ import multiprocessing
 from itertools import islice
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from ...obs import events, metrics, trace
 from ..ring import Ring
 
 __all__ = [
@@ -73,34 +84,60 @@ def _pool(workers: int, initializer, initargs) -> multiprocessing.pool.Pool:
 # -- BFS candidate fan-out ------------------------------------------------
 
 
-def _init_bfs_worker(instance, deadline) -> None:
+def _init_bfs_worker(instance, deadline, record: bool) -> None:
     from .cache import SolverCache
 
+    # Forked workers inherit the controller's recorder/tracer globals;
+    # uninstall both — worker counts travel back as explicit snapshots,
+    # never through an orphaned in-process sink.
+    metrics.set_recorder(None)
+    trace.set_tracer(None)
     _STATE["instance"] = instance
     _STATE["cache"] = SolverCache(instance.universe, instance.rings)
     _STATE["deadline"] = deadline
+    _STATE["record"] = record
 
 
 def _scan_chunk(
     chunk: list[tuple[str, ...]],
-) -> tuple[str, int, tuple[str, ...] | None]:
-    """Scan one chunk: ("found", i, mixins) | ("none", n, None) | ("budget", i, None)."""
+) -> tuple[str, int, tuple[str, ...] | None, list[dict] | None]:
+    """Scan one chunk: (outcome, index, mixins-or-None, snapshots-or-None).
+
+    Outcomes: ("found", i, mixins, snaps) | ("none", n, None, snaps) |
+    ("budget", i, None, snaps).  ``snaps`` holds one metrics snapshot
+    per candidate whose check started (None when recording is off); on
+    "budget" the last snapshot is the tripping candidate's partial
+    counts, mirroring what a serial run would have accumulated.
+    """
     from ..bfs import SearchBudgetExceeded, _candidate_feasible
 
     instance = _STATE["instance"]
     cache = _STATE["cache"]
     deadline = _STATE["deadline"]
+    record = _STATE["record"]
+    snaps: list[dict] | None = [] if record else None
     for local_index, mixin_tuple in enumerate(chunk):
         candidate = instance.make_ring(mixin_tuple)
-        try:
-            feasible = _candidate_feasible(
-                instance, candidate, cache=cache, deadline=deadline
-            )
-        except SearchBudgetExceeded:
-            return ("budget", local_index, None)
+        if record:
+            with metrics.recording() as rec:
+                try:
+                    feasible = _candidate_feasible(
+                        instance, candidate, cache=cache, deadline=deadline
+                    )
+                except SearchBudgetExceeded:
+                    snaps.append(rec.snapshot())
+                    return ("budget", local_index, None, snaps)
+            snaps.append(rec.snapshot())
+        else:
+            try:
+                feasible = _candidate_feasible(
+                    instance, candidate, cache=cache, deadline=deadline
+                )
+            except SearchBudgetExceeded:
+                return ("budget", local_index, None, None)
         if feasible:
-            return ("found", local_index, mixin_tuple)
-    return ("none", len(chunk), None)
+            return ("found", local_index, mixin_tuple, snaps)
+    return ("none", len(chunk), None, snaps)
 
 
 def scan_candidates(
@@ -120,11 +157,29 @@ def scan_candidates(
             candidates were scanned.
         ("budget", global_index, None): a worker hit the deadline while
             checking the candidate at ``global_index``.
+
+    Worker metrics snapshots are folded into the controller's recorder
+    in submission order, truncated at the winning (or tripping)
+    candidate — the merged totals match a serial scan of the same
+    prefix (see :mod:`repro.obs.events`).
     """
+    recorder = metrics.active()
     offset = 0
-    with _pool(workers, _init_bfs_worker, (instance, deadline)) as pool:
+    chunk_index = 0
+    with _pool(
+        workers, _init_bfs_worker, (instance, deadline, recorder is not None)
+    ) as pool:
         results = pool.imap(_scan_chunk, chunked(candidate_stream, chunk_size))
-        for outcome, local, winner in results:
+        for outcome, local, winner, snaps in results:
+            events.merge_worker_snapshots(recorder, snaps)
+            if trace.active() is not None:
+                trace.instant(
+                    "bfs.chunk",
+                    index=chunk_index,
+                    outcome=outcome,
+                    candidates=local + (1 if outcome != "none" else 0),
+                )
+            chunk_index += 1
             if outcome in ("found", "budget"):
                 pool.terminate()
                 return (outcome, offset + local, winner)
@@ -138,6 +193,8 @@ def scan_candidates(
 def _init_analysis_worker(rings, forced) -> None:
     from .matching import IncrementalMatcher
 
+    metrics.set_recorder(None)
+    trace.set_tracer(None)
     _STATE["matcher"] = IncrementalMatcher(rings, forced)
 
 

@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import time
 from itertools import combinations as subset_combinations
-from typing import Iterable, Sequence
+from typing import Sequence
 
+from ...obs import events
 from ..ring import Ring, TokenUniverse
 
 __all__ = ["WorldSet", "DeadlineExceeded"]
@@ -82,7 +83,16 @@ class WorldSet:
             names = _token_names
         self._token_names = names
         self._token_index = {name: idx for idx, name in enumerate(names)}
-        self.worlds = self._enumerate(deadline) if _worlds is None else _worlds
+        if _worlds is None:
+            self.worlds = self._enumerate(deadline)
+            if events.enabled():
+                events.emit(
+                    events.WorldsBuilt(
+                        rings=len(self.rings), worlds=len(self.worlds)
+                    )
+                )
+        else:
+            self.worlds = _worlds
         self._pair_masks: dict[tuple[int, int], int] | None = None
         self._full_mask = (1 << len(self.worlds)) - 1
         self._dtrs_cache: dict[tuple[str, int | None], list] = {}
@@ -153,6 +163,8 @@ class WorldSet:
                 for idx in cand_indices:
                     if idx not in used:
                         extended.append(world + (idx,))
+        if events.enabled():
+            events.emit(events.WorldsExtended(worlds=len(extended)))
         return WorldSet(
             self.rings + [candidate],
             _worlds=extended,
@@ -216,12 +228,16 @@ class WorldSet:
         key = (target_rid, max_size)
         cached = self._dtrs_cache.get(key)
         if cached is not None:
+            if events.enabled():
+                events.emit(events.DtrsSweep(memo_hit=True, found=len(cached)))
             return list(cached)
 
         if target_rid not in self._position_of:
             raise ValueError("target ring must be a member of the ring set")
         if not self.worlds:
             self._dtrs_cache[key] = []
+            if events.enabled():
+                events.emit(events.DtrsSweep(memo_hit=False, found=0))
             return []
 
         target_pos = self._position_of[target_rid]
@@ -274,6 +290,8 @@ class WorldSet:
         if ht is not None:
             result = [Dtrs(pairs=frozenset(), determined_ht=ht)]
             self._dtrs_cache[key] = result
+            if events.enabled():
+                events.emit(events.DtrsSweep(memo_hit=False, found=1))
             return list(result)
 
         for size in range(1, cap + 1):
@@ -314,6 +332,8 @@ class WorldSet:
         ]
         result.sort(key=lambda d: (len(d.pairs), sorted(d.pairs)))
         self._dtrs_cache[key] = result
+        if events.enabled():
+            events.emit(events.DtrsSweep(memo_hit=False, found=len(result)))
         return list(result)
 
 

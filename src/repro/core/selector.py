@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from .modules import Module, ModuleUniverse
-from .ring import Ring, TokenUniverse
+from .ring import TokenUniverse
 
 __all__ = ["SelectionResult", "Selector", "SELECTORS", "register_selector", "get_selector"]
 

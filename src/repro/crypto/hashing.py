@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import hashlib
 
-from .ed25519 import L, P, Point, compress, decompress, DecodingError, scalar_mult
+from .ed25519 import L, P, Point, decompress, DecodingError
 
 __all__ = [
     "sha512",

@@ -19,6 +19,7 @@ from ..core.modules import ModuleUniverse, second_config_ell
 from ..core.problem import InfeasibleError
 from ..core.selector import get_selector
 from ..data.workload import ProblemInstance, sample_instances
+from ..obs import metrics, trace
 
 __all__ = [
     "ApproachResult",
@@ -96,22 +97,37 @@ def run_point(
         sizes: list[int] = []
         times: list[float] = []
         failures = 0
-        for instance in point.instances:
-            ell = (
-                second_config_ell(instance.ell)
-                if apply_second_config
-                else instance.ell
-            )
-            start = time.perf_counter()
-            try:
-                result = selector(
-                    instance.modules, instance.target_token, instance.c, ell, rng=rng
+        with trace.span(
+            "sweep.approach",
+            approach=approach,
+            parameter=point.parameter,
+            value=str(point.value),
+        ) as sp:
+            rec = metrics.active()
+            for instance in point.instances:
+                ell = (
+                    second_config_ell(instance.ell)
+                    if apply_second_config
+                    else instance.ell
                 )
-            except InfeasibleError:
-                failures += 1
-                continue
-            times.append(time.perf_counter() - start)
-            sizes.append(result.size)
+                start = time.perf_counter()
+                try:
+                    result = selector(
+                        instance.modules, instance.target_token, instance.c,
+                        ell, rng=rng,
+                    )
+                except InfeasibleError:
+                    failures += 1
+                    if rec is not None:
+                        rec.count("sweep.failures")
+                    continue
+                times.append(time.perf_counter() - start)
+                sizes.append(result.size)
+                if rec is not None:
+                    rec.count("sweep.instances")
+            if sp is not None:
+                sp.attrs["instances"] = len(sizes)
+                sp.attrs["failures"] = failures
         measurements.append(
             ApproachResult(
                 approach=approach,
@@ -151,24 +167,27 @@ def run_sweep(
     """
     sweep = SweepResult(parameter=parameter)
     for offset, value in enumerate(values):
-        modules = make_modules(value)
-        instances = tuple(
-            sample_instances(
-                modules,
-                c=c_of(value),
-                ell=ell_of(value),
-                count=instances_per_point,
+        with trace.span("sweep.point", parameter=parameter, value=str(value)):
+            modules = make_modules(value)
+            instances = tuple(
+                sample_instances(
+                    modules,
+                    c=c_of(value),
+                    ell=ell_of(value),
+                    count=instances_per_point,
+                    seed=seed + offset,
+                )
+            )
+            point = SweepPoint(
+                parameter=parameter, value=value, instances=instances
+            )
+            sweep.points.append(value)
+            sweep.results[value] = run_point(
+                point,
+                approaches=approaches,
+                apply_second_config=apply_second_config,
                 seed=seed + offset,
             )
-        )
-        point = SweepPoint(parameter=parameter, value=value, instances=instances)
-        sweep.points.append(value)
-        sweep.results[value] = run_point(
-            point,
-            approaches=approaches,
-            apply_second_config=apply_second_config,
-            seed=seed + offset,
-        )
     return sweep
 
 

@@ -1,0 +1,37 @@
+"""Structured observability for the exact pipeline (zero-dependency).
+
+Three layers, all defaulting to off with near-zero disabled overhead:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms behind a
+  swappable :class:`~repro.obs.metrics.Recorder`;
+* :mod:`repro.obs.trace` — hierarchical spans with monotonic timing
+  and a process-safe JSONL exporter;
+* :mod:`repro.obs.events` — the typed solver progress vocabulary and
+  the deterministic worker-merge protocol;
+* :mod:`repro.obs.clock` — injectable clocks for deterministic
+  simulation timestamps.
+
+See DESIGN.md §9 for the architecture and the equivalence contract
+(recording on/off never changes solver outputs).
+"""
+
+from . import clock, events, metrics, trace
+from .clock import Clock, ManualClock
+from .metrics import MemoryRecorder, Recorder, recording
+from .trace import Span, Tracer, span, tracing
+
+__all__ = [
+    "clock",
+    "events",
+    "metrics",
+    "trace",
+    "Clock",
+    "ManualClock",
+    "MemoryRecorder",
+    "Recorder",
+    "recording",
+    "Span",
+    "Tracer",
+    "span",
+    "tracing",
+]

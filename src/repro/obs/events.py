@@ -1,0 +1,269 @@
+"""Typed solver progress events and the worker-merge protocol.
+
+The exact pipeline reports progress in a small, closed vocabulary of
+events — one frozen dataclass per thing that happens — instead of
+ad-hoc counter bumps scattered through solver code.  ``emit(event)``
+forwards an event to the active metrics recorder (as the canonical
+counters/gauges the event defines) and drops an instant marker into
+the active trace.  The very hottest sites (per augmenting-path repair
+inside :class:`~repro.core.perf.matching.IncrementalMatcher`) bypass
+the event object and bump their canonical counters directly; the names
+are still declared here.
+
+Worker forwarding
+-----------------
+
+``bfs_select(workers=N)`` checks candidates in forked pool workers.
+Each worker wraps every candidate check in its own
+:class:`~repro.obs.metrics.MemoryRecorder` and ships the resulting
+per-candidate snapshots back on the pool's result queue alongside the
+chunk outcome.  The controller folds snapshots in **submission order**,
+stopping at the winning candidate — exactly the candidates the serial
+scan would have counted — so merged totals are deterministic and equal
+to a serial run for every counter except the explicitly
+scheduling-dependent ones below.
+
+Scheduling-dependent counters: each worker owns a private
+:class:`~repro.core.perf.cache.SolverCache`, so *which* candidate pays
+for a base-world enumeration (a ``cache.worlds_misses`` +
+``worlds.enumerated`` pair) depends on how candidates land on workers.
+:func:`deterministic_view` strips those names; everything it keeps is
+pinned equal across worker counts by ``tests/test_obs_parallel.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+from . import metrics, trace
+
+__all__ = [
+    "Event",
+    "CandidateScanned",
+    "StratumExhausted",
+    "WorldsBuilt",
+    "WorldsExtended",
+    "DtrsSweep",
+    "CacheWorldsLookup",
+    "DeadlineTripped",
+    "RingGenerated",
+    "ReserveChecked",
+    "NeighborInference",
+    "AttackAnalyzed",
+    "emit",
+    "enabled",
+    "merge_worker_snapshots",
+    "deterministic_view",
+    "SCHEDULING_DEPENDENT",
+]
+
+#: Counter names whose totals legitimately differ between worker counts
+#: (per-process cache effects) — see the module docstring.
+SCHEDULING_DEPENDENT = (
+    "cache.",
+    "worlds.built",
+    "worlds.enumerated",
+)
+
+
+class Event(Protocol):
+    """An observable step: knows how to record itself on a Recorder."""
+
+    def record(self, recorder: metrics.Recorder) -> None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateScanned:
+    """One BFS candidate checked; ``filtered_at`` names the failing gate
+    ("ht", "eliminated", "dtrs") or is None for a feasible candidate."""
+
+    size: int
+    filtered_at: str | None
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("bfs.candidates")
+        recorder.count(f"bfs.candidates.size{self.size}")
+        if self.filtered_at is None:
+            recorder.count("bfs.feasible")
+        else:
+            recorder.count(f"bfs.filtered.{self.filtered_at}")
+
+
+@dataclass(frozen=True, slots=True)
+class StratumExhausted:
+    """A whole size-k stratum scanned without a feasible candidate."""
+
+    size: int
+    candidates: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("bfs.strata_exhausted")
+
+
+@dataclass(frozen=True, slots=True)
+class WorldsBuilt:
+    """A fresh token-RS world enumeration (the exponential step)."""
+
+    rings: int
+    worlds: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("worlds.built")
+        recorder.count("worlds.enumerated", self.worlds)
+
+
+@dataclass(frozen=True, slots=True)
+class WorldsExtended:
+    """A candidate closure's worlds derived from a shared base prefix."""
+
+    worlds: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("worlds.extended")
+        recorder.count("worlds.extended_worlds", self.worlds)
+
+
+@dataclass(frozen=True, slots=True)
+class DtrsSweep:
+    """One ``dtrss_of`` query: memo outcome plus how many DTRSs came back."""
+
+    memo_hit: bool
+    found: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("dtrs.sweeps")
+        recorder.count("dtrs.memo_hits" if self.memo_hit else "dtrs.memo_misses")
+        if not self.memo_hit:
+            recorder.count("dtrs.found", self.found)
+
+
+@dataclass(frozen=True, slots=True)
+class CacheWorldsLookup:
+    """A SolverCache base-world lookup (component/world sharing)."""
+
+    hit: bool
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("cache.worlds_hits" if self.hit else "cache.worlds_misses")
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlineTripped:
+    """The search budget ran out: where, and by how much.
+
+    ``margin_s`` is ``deadline - now`` at the trip (negative =
+    overshoot past the budget).
+    """
+
+    size: int
+    scanned_in_size: int
+    margin_s: float
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("bfs.deadline_trips")
+        recorder.gauge("bfs.deadline_margin_s", self.margin_s)
+        recorder.gauge("bfs.deadline_size", self.size)
+        recorder.gauge("bfs.deadline_scanned_in_size", self.scanned_in_size)
+
+
+@dataclass(frozen=True, slots=True)
+class RingGenerated:
+    """TokenMagic produced a ring (any selector, any mode)."""
+
+    algorithm: str
+    size: int
+    elapsed_s: float
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("tokenmagic.rings")
+        recorder.count(f"tokenmagic.rings.{self.algorithm}")
+        recorder.observe("tokenmagic.generate_s", self.elapsed_s)
+        recorder.observe("tokenmagic.ring_size", self.size)
+
+
+@dataclass(frozen=True, slots=True)
+class ReserveChecked:
+    """One eta-reserve admission check (Section 4's reserve rule)."""
+
+    ok: bool
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("registry.reserve_checks")
+        if not self.ok:
+            recorder.count("registry.reserve_violations")
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborInference:
+    """A Theorem 4.1 consumed-token closure over a ring registry."""
+
+    rings: int
+    consumed: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("registry.closure_checks")
+        recorder.gauge("registry.consumed_tokens", self.consumed)
+
+
+@dataclass(frozen=True, slots=True)
+class AttackAnalyzed:
+    """A chain-reaction attack finished over a ring set."""
+
+    kind: str
+    rings: int
+    deanonymized: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count(f"attack.{self.kind}_runs")
+        recorder.count("attack.rings_analyzed", self.rings)
+        recorder.count("attack.deanonymized", self.deanonymized)
+
+
+def enabled() -> bool:
+    """Is any sink (metrics or trace) installed?  Guard for warm paths."""
+    return metrics.active() is not None or trace.active() is not None
+
+
+def emit(event: Event) -> None:
+    """Record ``event`` on the active recorder and mark it in the trace."""
+    recorder = metrics.active()
+    if recorder is not None:
+        event.record(recorder)
+    tracer = trace.active()
+    if tracer is not None:
+        trace.instant(type(event).__name__, **_attrs_of(event))
+
+
+def _attrs_of(event: Event) -> dict:
+    cls = type(event)
+    return {name: getattr(event, name) for name in cls.__dataclass_fields__}
+
+
+# -- worker-side forwarding -------------------------------------------------
+
+
+def merge_worker_snapshots(
+    recorder: metrics.Recorder | None, snapshots: Sequence[Mapping] | None
+) -> None:
+    """Fold per-candidate worker snapshots into the controller recorder.
+
+    Snapshots must be passed in submission order; only
+    :class:`~repro.obs.metrics.MemoryRecorder` targets can merge (the
+    protocol's minimum surface has no merge), so anything else drops
+    them silently.
+    """
+    if not snapshots or recorder is None:
+        return
+    if isinstance(recorder, metrics.MemoryRecorder):
+        for snapshot in snapshots:
+            recorder.merge_snapshot(snapshot)
+
+
+def deterministic_view(counters: Mapping[str, int]) -> dict[str, int]:
+    """Counters whose totals are identical for every worker count."""
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith(SCHEDULING_DEPENDENT)
+    }

@@ -1,0 +1,201 @@
+"""Hierarchical spans with monotonic timing and a JSONL exporter.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.tracing() as tracer:
+        with trace.span("bfs.select", tokens=20):
+            with trace.span("bfs.stratum", size=3) as sp:
+                ...
+                sp.attrs["candidates"] = checked
+        tracer.export_jsonl("trace.jsonl")
+
+Like :mod:`repro.obs.metrics`, the active :class:`Tracer` lives in one
+module-global slot so the disabled path is a single load + comparison;
+the *current span* (what a new span parents onto) is a
+:class:`contextvars.ContextVar`, so nesting is correct even under
+asyncio or threads sharing a tracer.
+
+Timing is ``time.perf_counter()`` throughout — monotonic, never
+wall-clock — reported relative to the tracer's origin so exported
+traces are small, stable numbers.  Spans land in the export in *finish*
+order, which means the ``end`` field is non-decreasing through the
+file (children appear before their parents); consumers wanting start
+order sort on ``start``.
+
+The exporter appends each span as one ``os.write`` of a single
+newline-terminated JSON line, so several processes may share one trace
+file without interleaving partial lines (POSIX ``O_APPEND`` semantics).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active",
+    "set_tracer",
+    "tracing",
+    "span",
+    "instant",
+    "JsonlExporter",
+]
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed operation; ``attrs`` may be updated until it finishes."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    attrs: dict = field(default_factory=dict)
+    end: float | None = None
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def as_record(self, pid: int) -> dict:
+        """The JSONL form of a finished span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": pid,
+            "start": round(self.start, 9),
+            "end": None if self.end is None else round(self.end, 9),
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects finished spans; one per recording session."""
+
+    __slots__ = ("finished", "_origin", "_next_id")
+
+    def __init__(self) -> None:
+        self.finished: list[Span] = []
+        self._origin = time.perf_counter()
+        self._next_id = 1
+
+    def begin(self, name: str, parent: Span | None, attrs: dict) -> Span:
+        sp = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            start=time.perf_counter() - self._origin,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        return sp
+
+    def finish(self, sp: Span) -> None:
+        sp.end = time.perf_counter() - self._origin
+        self.finished.append(sp)
+
+    def instant(self, name: str, parent: Span | None, attrs: dict) -> Span:
+        """A zero-duration marker span (progress events in the trace)."""
+        sp = self.begin(name, parent, attrs)
+        sp.end = sp.start
+        self.finished.append(sp)
+        return sp
+
+    def export_jsonl(self, path: str | os.PathLike) -> int:
+        """Append all finished spans to ``path``; returns the span count."""
+        exporter = JsonlExporter(path)
+        try:
+            pid = os.getpid()
+            for sp in self.finished:
+                exporter.write(sp.as_record(pid))
+        finally:
+            exporter.close()
+        return len(self.finished)
+
+
+class JsonlExporter:
+    """Process-safe JSONL appender (one atomic write per record)."""
+
+    __slots__ = ("_fd",)
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._fd = os.open(
+            os.fspath(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        os.close(self._fd)
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- the active-tracer slot -------------------------------------------------
+
+_active: Tracer | None = None
+_current_span: ContextVar[Span | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def active() -> Tracer | None:
+    """The installed tracer, or None when tracing is disabled."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    global _active
+    _active = tracer
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of a ``with`` block."""
+    installed = Tracer() if tracer is None else tracer
+    previous = _active
+    set_tracer(installed)
+    try:
+        yield installed
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def span(name: str, **attrs) -> Iterator[Span | None]:
+    """Open a child of the current span; yields None when disabled."""
+    tracer = _active
+    if tracer is None:
+        yield None
+        return
+    sp = tracer.begin(name, _current_span.get(), attrs)
+    token = _current_span.set(sp)
+    try:
+        yield sp
+    finally:
+        _current_span.reset(token)
+        tracer.finish(sp)
+
+
+def instant(name: str, **attrs) -> None:
+    """Record a zero-duration marker under the current span (if tracing)."""
+    tracer = _active
+    if tracer is not None:
+        tracer.instant(name, _current_span.get(), attrs)

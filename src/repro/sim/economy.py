@@ -12,7 +12,7 @@ Used by the longitudinal example and the policy-comparison ablation.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..analysis.chain_reaction import exact_analysis
 from ..analysis.metrics import PopulationMetrics, population_metrics
@@ -186,7 +186,7 @@ class Economy:
             if not config.relax_on_failure:
                 return None
             from ..core.modules import ModuleUniverse
-            from ..tokenmagic.batch import batch_of_token, rings_over_batch
+            from ..tokenmagic.batch import batch_of_token
 
             try:
                 batch = batch_of_token(self.magic.batches(), target)

@@ -18,6 +18,7 @@ install so miners reject rings violating the configurations.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 
 from ..chain.blockchain import Blockchain
@@ -31,6 +32,7 @@ from ..core.modules import (
 from ..core.problem import InfeasibleError
 from ..core.ring import Ring
 from ..core.selector import SelectionResult, Selector, get_selector
+from ..obs import events, trace
 from .batch import Batch, batch_of_token, build_batches, rings_over_batch
 from .registry import BatchRegistry, ReserveViolation
 
@@ -112,45 +114,77 @@ class TokenMagic:
         """
         generator = rng if rng is not None else random.Random()
         selector = get_selector(algorithm) if isinstance(algorithm, str) else algorithm
-        batch = batch_of_token(self.batches(), token_id)
-        registry = self.registry_for(batch)
-        target_ell = (
-            second_config_ell(ell) if self.config.apply_second_config else ell
-        )
-        modules = ModuleUniverse(batch.universe, registry.rings)
-
-        if not self.config.candidate_mode:
-            result = selector(modules, token_id, c, target_ell, rng=generator)
-            self._check_admissible(registry, result, c, ell)
-            return result
-
-        # Algorithm 1 proper: one candidate ring per token of the batch.
-        candidates: dict[str, list[SelectionResult]] = {
-            token: [] for token in batch.universe
-        }
-        for token in sorted(batch.universe.tokens):
-            try:
-                result = selector(modules, token, c, target_ell, rng=generator)
-            except InfeasibleError:
-                continue
-            for member in result.tokens:
-                candidates[member].append(result)
-        eligible = candidates[token_id]
-        if not eligible:
-            raise InfeasibleError(
-                f"no candidate ring contains token {token_id!r} under "
-                f"({c}, {ell})-diversity"
+        start = time.perf_counter()
+        with trace.span(
+            "tokenmagic.generate_ring",
+            token=token_id,
+            algorithm=getattr(selector, "name", str(algorithm)),
+            candidate_mode=self.config.candidate_mode,
+        ) as sp:
+            batch = batch_of_token(self.batches(), token_id)
+            registry = self.registry_for(batch)
+            target_ell = (
+                second_config_ell(ell) if self.config.apply_second_config else ell
             )
-        chosen = eligible[generator.randrange(len(eligible))]
-        chosen = SelectionResult(
-            tokens=chosen.tokens,
-            target_token=token_id,
-            modules=chosen.modules,
-            elapsed=chosen.elapsed,
-            algorithm=chosen.algorithm,
-        )
-        self._check_admissible(registry, chosen, c, ell)
-        return chosen
+            modules = ModuleUniverse(batch.universe, registry.rings)
+
+            if not self.config.candidate_mode:
+                result = selector(modules, token_id, c, target_ell, rng=generator)
+                self._check_admissible(registry, result, c, ell)
+                return self._record_generated(sp, result, start)
+
+            # Algorithm 1 proper: one candidate ring per token of the batch.
+            candidates: dict[str, list[SelectionResult]] = {
+                token: [] for token in batch.universe
+            }
+            with trace.span(
+                "tokenmagic.candidate_sweep", tokens=len(batch.universe)
+            ) as sweep_span:
+                infeasible = 0
+                for token in sorted(batch.universe.tokens):
+                    try:
+                        result = selector(
+                            modules, token, c, target_ell, rng=generator
+                        )
+                    except InfeasibleError:
+                        infeasible += 1
+                        continue
+                    for member in result.tokens:
+                        candidates[member].append(result)
+                if sweep_span is not None:
+                    sweep_span.attrs["infeasible"] = infeasible
+            eligible = candidates[token_id]
+            if not eligible:
+                raise InfeasibleError(
+                    f"no candidate ring contains token {token_id!r} under "
+                    f"({c}, {ell})-diversity"
+                )
+            chosen = eligible[generator.randrange(len(eligible))]
+            chosen = SelectionResult(
+                tokens=chosen.tokens,
+                target_token=token_id,
+                modules=chosen.modules,
+                elapsed=chosen.elapsed,
+                algorithm=chosen.algorithm,
+            )
+            self._check_admissible(registry, chosen, c, ell)
+            return self._record_generated(sp, chosen, start)
+
+    def _record_generated(
+        self, sp, result: SelectionResult, start: float
+    ) -> SelectionResult:
+        """Flush the per-generation span attrs and RingGenerated event."""
+        if events.enabled():
+            events.emit(
+                events.RingGenerated(
+                    algorithm=result.algorithm,
+                    size=len(result.tokens),
+                    elapsed_s=time.perf_counter() - start,
+                )
+            )
+        if sp is not None:
+            sp.attrs["ring_size"] = len(result.tokens)
+        return result
 
     def generate_ring_exact(
         self,
@@ -176,26 +210,30 @@ class TokenMagic:
         from ..core.bfs import bfs_select
         from ..core.problem import DamsInstance
 
-        batch = batch_of_token(self.batches(), token_id)
-        registry = self.registry_for(batch)
-        instance = DamsInstance(
-            batch.universe, list(registry.rings), token_id, c=c, ell=ell
-        )
-        solved = bfs_select(
-            instance,
-            time_budget=time_budget,
-            max_mixins=max_mixins,
-            workers=self.config.parallel_workers,
-        )
-        result = SelectionResult(
-            tokens=solved.ring.tokens,
-            target_token=token_id,
-            modules=(),
-            elapsed=solved.elapsed,
-            algorithm="bfs",
-        )
-        self._check_admissible(registry, result, c, ell)
-        return result
+        start = time.perf_counter()
+        with trace.span(
+            "tokenmagic.generate_ring_exact", token=token_id, budget=time_budget
+        ) as sp:
+            batch = batch_of_token(self.batches(), token_id)
+            registry = self.registry_for(batch)
+            instance = DamsInstance(
+                batch.universe, list(registry.rings), token_id, c=c, ell=ell
+            )
+            solved = bfs_select(
+                instance,
+                time_budget=time_budget,
+                max_mixins=max_mixins,
+                workers=self.config.parallel_workers,
+            )
+            result = SelectionResult(
+                tokens=solved.ring.tokens,
+                target_token=token_id,
+                modules=(),
+                elapsed=solved.elapsed,
+                algorithm="bfs",
+            )
+            self._check_admissible(registry, result, c, ell)
+            return self._record_generated(sp, result, start)
 
     def audit_batch(self, batch: Batch):
         """Chain-reaction audit of every ring proposed over ``batch``.
@@ -207,9 +245,10 @@ class TokenMagic:
         from ..analysis.chain_reaction import exact_analysis
 
         registry = self.registry_for(batch)
-        return exact_analysis(
-            list(registry.rings), workers=self.config.parallel_workers
-        )
+        with trace.span("tokenmagic.audit_batch", batch=batch.index):
+            return exact_analysis(
+                list(registry.rings), workers=self.config.parallel_workers
+            )
 
     def commit_ring(self, result: SelectionResult, c: float, ell: int) -> Ring:
         """Record a generated ring in its batch registry and return it."""
@@ -235,10 +274,18 @@ class TokenMagic:
             ell=ell,
             seq=len(registry.rings),
         )
-        if registry.eta > 0 and not registry.reserve_ok(probe):
-            raise ReserveViolation(
-                f"ring for {result.target_token!r} violates the eta reserve rule"
-            )
+        if registry.eta > 0:
+            with trace.span("tokenmagic.reserve_check", eta=registry.eta) as sp:
+                ok = registry.reserve_ok(probe)
+                if sp is not None:
+                    sp.attrs["ok"] = ok
+            if events.enabled():
+                events.emit(events.ReserveChecked(ok=ok))
+            if not ok:
+                raise ReserveViolation(
+                    f"ring for {result.target_token!r} violates the eta "
+                    f"reserve rule"
+                )
 
     # -- Step-3 policy verifier ---------------------------------------------
 

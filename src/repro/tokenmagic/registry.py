@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.ring import Ring, TokenUniverse
+from ..obs import events, trace
 from .batch import Batch
 
 __all__ = [
@@ -48,21 +49,28 @@ def consumed_closure(rings: list[Ring]) -> frozenset[str]:
 
     if not rings:
         return frozenset()
-    if not has_complete_assignment(rings):
-        # Contradictory ring set (cannot arise on a valid chain); treat
-        # every ring token as consumed so callers fail safe.
-        tokens: set[str] = set()
+    with trace.span("registry.consumed_closure", rings=len(rings)) as sp:
+        if not has_complete_assignment(rings):
+            # Contradictory ring set (cannot arise on a valid chain);
+            # treat every ring token as consumed so callers fail safe.
+            tokens: set[str] = set()
+            for ring in rings:
+                tokens |= ring.tokens
+            return frozenset(tokens)
+        consumed: set[str] = set()
+        candidates: set[str] = set()
         for ring in rings:
-            tokens |= ring.tokens
-        return frozenset(tokens)
-    consumed: set[str] = set()
-    candidates: set[str] = set()
-    for ring in rings:
-        candidates |= ring.tokens
-    for token in candidates:
-        if not has_complete_assignment(rings, excluded_tokens={token}):
-            consumed.add(token)
-    return frozenset(consumed)
+            candidates |= ring.tokens
+        for token in candidates:
+            if not has_complete_assignment(rings, excluded_tokens={token}):
+                consumed.add(token)
+        if sp is not None:
+            sp.attrs["consumed"] = len(consumed)
+        if events.enabled():
+            events.emit(
+                events.NeighborInference(rings=len(rings), consumed=len(consumed))
+            )
+        return frozenset(consumed)
 
 
 def neighbor_set_consumed(rings: list[Ring]) -> frozenset[str]:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.chain.blockchain import Blockchain
 from repro.chain.transaction import Transaction
-from repro.tokenmagic.batch import Batch, batch_of_token, build_batches
+from repro.tokenmagic.batch import batch_of_token, build_batches
 
 
 def chain_with_blocks(tokens_per_block, start_nonce=0):

@@ -75,6 +75,24 @@ class TestFailureModes:
         with pytest.raises(SearchBudgetExceeded):
             bfs_select(instance, time_budget=0.01)
 
+    def test_budget_trip_reports_stratum_and_progress(self):
+        # Same infeasible workload: the exception must say which size-k
+        # stratum tripped and how far into it the scan had got.
+        universe = TokenUniverse({f"t{i:02d}": f"h{i % 3}" for i in range(22)})
+        rings = [
+            ring(f"r{i}", {f"t{j:02d}" for j in range(i, i + 4)}, seq=i, c=5.0, ell=2)
+            for i in range(6)
+        ]
+        instance = DamsInstance(universe, rings, "t21", c=5.0, ell=5)
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            bfs_select(instance, time_budget=0.01)
+        exc = excinfo.value
+        assert exc.size is not None and exc.size >= 4  # sizes start at l-1
+        assert exc.scanned_in_size is not None and exc.scanned_in_size >= 0
+        assert exc.margin_s is not None
+        assert f"size {exc.size}" in str(exc)
+        assert "candidates" in str(exc)
+
     def test_max_mixins_cap(self):
         universe = TokenUniverse({"a": "h1", "b": "h1", "c": "h1", "d": "h2"})
         instance = DamsInstance(universe, [], "a", c=0.5, ell=2)

@@ -202,3 +202,35 @@ class TestPolicyVerifiers:
         with pytest.raises(ValidationError, match="policy"):
             chain.append_block(chain.make_block([spend], timestamp=2.0))
         assert len(calls) == 1
+
+
+class TestClockInjection:
+    def test_default_clock_is_wall_time(self):
+        import time
+
+        chain = Blockchain(verify_signatures=False)
+        before = time.time()
+        block = chain.make_block([Transaction(inputs=(), output_count=1)])
+        assert before <= block.timestamp <= time.time()
+
+    def test_manual_clock_stamps_blocks_deterministically(self):
+        from repro.obs.clock import ManualClock
+
+        chain = Blockchain(
+            verify_signatures=False, clock=ManualClock(start=100.0, step=10.0)
+        )
+        first = chain.make_block([Transaction(inputs=(), output_count=1)])
+        chain.append_block(first)
+        second = chain.make_block([Transaction(inputs=(), output_count=1, nonce=1)])
+        assert (first.timestamp, second.timestamp) == (100.0, 110.0)
+
+    def test_explicit_timestamp_bypasses_clock(self):
+        from repro.obs.clock import ManualClock
+
+        clock = ManualClock(start=100.0)
+        chain = Blockchain(verify_signatures=False, clock=clock)
+        block = chain.make_block(
+            [Transaction(inputs=(), output_count=1)], timestamp=7.0
+        )
+        assert block.timestamp == 7.0
+        assert clock.now == 100.0  # the clock was never consulted

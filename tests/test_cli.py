@@ -45,3 +45,45 @@ class TestExecution:
 
     def test_sim_algorithm_choice(self, capsys):
         assert main(["sim", "--ticks", "1", "--algorithm", "smallest"]) == 0
+
+
+class TestObservabilityFlags:
+    def test_every_subcommand_accepts_obs_flags(self):
+        parser = build_parser()
+        for name in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                     "fig9", "fig10", "sim"):
+            args = parser.parse_args([name, "--metrics", "--trace-out", "x.jsonl"])
+            assert args.metrics is True
+            assert args.trace_out == "x.jsonl"
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.metrics is False
+        assert args.trace_out is None
+
+    def test_metrics_flag_prints_summary(self, capsys):
+        assert main(["fig4", "--budget", "2", "--max-rings", "2",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "bfs.candidates" in out
+        assert "cache worlds hit rate" in out
+
+    def test_trace_out_writes_parseable_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["fig4", "--budget", "2", "--max-rings", "2",
+                     "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"spans to {path}" in out
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records
+        assert any(r["name"] == "bfs.select" for r in records)
+        ends = [r["end"] for r in records]
+        assert ends == sorted(ends)
+
+    def test_without_flags_no_summary(self, capsys):
+        assert main(["fig4", "--budget", "2", "--max-rings", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" not in out

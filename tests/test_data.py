@@ -1,6 +1,5 @@
 """Unit tests for the Monero-shaped and synthetic data generators."""
 
-import statistics
 
 import pytest
 

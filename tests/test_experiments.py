@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.experiments.figures import (
     fig3_output_distribution,

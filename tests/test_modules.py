@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.diversity import ht_counts_satisfy
 from repro.core.dtrs import get_dtrss
 from repro.core.modules import (
     ModuleUniverse,

@@ -1,0 +1,102 @@
+"""Deterministic worker event forwarding (ISSUE satellite: workers=2).
+
+A parallel scan forwards per-candidate metrics snapshots from the pool
+workers and folds them in submission order, truncated at the winner —
+so every counter outside the documented scheduling-dependent set must
+total exactly what a serial run records.  The trace of a parallel run
+must still export valid, finish-ordered JSONL.
+"""
+
+import json
+import random
+
+from repro.core.bfs import bfs_select
+from repro.core.problem import DamsInstance
+from repro.core.ring import Ring, TokenUniverse
+from repro.obs import events, metrics, trace
+
+C = 5.0
+ELL = 3
+MAX_RINGS = 3
+
+
+def _run_ladder(workers: int) -> metrics.MemoryRecorder:
+    rng = random.Random(0)
+    universe = TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(10)}" for i in range(20)}
+    )
+    rings: list[Ring] = []
+    consumed: set[str] = set()
+    with metrics.recording() as rec:
+        for index in range(MAX_RINGS):
+            free = sorted(universe.tokens - consumed)
+            target = free[rng.randrange(len(free))]
+            instance = DamsInstance(universe, list(rings), target, c=C, ell=ELL)
+            result = bfs_select(instance, workers=workers)
+            rings.append(
+                Ring(
+                    rid=f"r{index}",
+                    tokens=result.ring.tokens,
+                    c=C,
+                    ell=ELL,
+                    seq=result.ring.seq,
+                )
+            )
+            consumed.add(target)
+    return rec
+
+
+def test_worker_counts_merge_to_serial_totals():
+    serial = _run_ladder(workers=0)
+    parallel = _run_ladder(workers=2)
+    assert events.deterministic_view(parallel.counters) == (
+        events.deterministic_view(serial.counters)
+    )
+    # The stripped names really were recorded (the view is not vacuous).
+    assert "bfs.candidates" in events.deterministic_view(serial.counters)
+    assert "cache.worlds_misses" in serial.counters
+
+
+def test_deterministic_view_strips_only_scheduling_dependent():
+    counters = {
+        "bfs.candidates": 10,
+        "cache.worlds_hits": 4,
+        "cache.worlds_misses": 2,
+        "worlds.built": 2,
+        "worlds.enumerated": 8,
+        "worlds.extended": 6,
+        "dtrs.sweeps": 9,
+    }
+    view = events.deterministic_view(counters)
+    assert view == {
+        "bfs.candidates": 10,
+        "worlds.extended": 6,
+        "dtrs.sweeps": 9,
+    }
+
+
+def test_parallel_trace_exports_valid_ordered_jsonl(tmp_path):
+    rng = random.Random(0)
+    universe = TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(10)}" for i in range(20)}
+    )
+    target = sorted(universe.tokens)[rng.randrange(20)]
+    instance = DamsInstance(universe, [], target, c=C, ell=ELL)
+    path = tmp_path / "parallel.jsonl"
+    with trace.tracing() as tracer:
+        bfs_select(instance, workers=2)
+    tracer.export_jsonl(path)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records
+    names = {record["name"] for record in records}
+    assert "bfs.select" in names
+    assert "bfs.chunk" in names  # the parallel path marked its chunks
+    ends = [record["end"] for record in records]
+    assert ends == sorted(ends)
+    # Every parent referenced exists in the export.
+    ids = {record["span_id"] for record in records}
+    assert all(
+        record["parent_id"] in ids
+        for record in records
+        if record["parent_id"] is not None
+    )

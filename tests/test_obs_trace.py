@@ -1,0 +1,93 @@
+"""Tests for repro.obs.trace: spans, nesting, the JSONL exporter."""
+
+import json
+import os
+
+from repro.obs import trace
+
+
+class TestSpans:
+    def test_disabled_span_yields_none(self):
+        assert trace.active() is None
+        with trace.span("anything", key=1) as sp:
+            assert sp is None
+
+    def test_tracing_installs_and_restores(self):
+        with trace.tracing() as tracer:
+            assert trace.active() is tracer
+        assert trace.active() is None
+
+    def test_span_records_name_attrs_and_timing(self):
+        with trace.tracing() as tracer:
+            with trace.span("bfs.select", target="t1") as sp:
+                sp.attrs["late"] = 42  # attrs stay writable until finish
+        (finished,) = tracer.finished
+        assert finished.name == "bfs.select"
+        assert finished.attrs == {"target": "t1", "late": 42}
+        assert finished.end is not None
+        assert finished.duration >= 0
+
+    def test_nesting_sets_parent_ids(self):
+        with trace.tracing() as tracer:
+            with trace.span("outer") as outer:
+                with trace.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+            with trace.span("sibling") as sibling:
+                assert sibling.parent_id is None
+        # Children finish before their parents.
+        names = [sp.name for sp in tracer.finished]
+        assert names == ["inner", "outer", "sibling"]
+
+    def test_instant_is_zero_duration_child(self):
+        with trace.tracing() as tracer:
+            with trace.span("parent") as parent:
+                trace.instant("event", hit=True)
+        event = tracer.finished[0]
+        assert event.name == "event"
+        assert event.parent_id == parent.span_id
+        assert event.duration == 0
+        assert event.attrs == {"hit": True}
+
+    def test_instant_disabled_is_noop(self):
+        trace.instant("dropped")  # no tracer installed: must not raise
+
+
+class TestJsonlExport:
+    def test_export_is_parseable_and_end_ordered(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with trace.tracing() as tracer:
+            with trace.span("a"):
+                with trace.span("b"):
+                    trace.instant("mark")
+        count = tracer.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert all(
+            set(r) == {"name", "span_id", "parent_id", "pid", "start", "end",
+                       "attrs"}
+            for r in records
+        )
+        assert all(r["pid"] == os.getpid() for r in records)
+        ends = [r["end"] for r in records]
+        assert ends == sorted(ends)
+
+    def test_export_appends_across_tracers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with trace.tracing() as tracer:
+                with trace.span("run"):
+                    pass
+            tracer.export_jsonl(path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 2  # O_APPEND: the second export kept the first
+
+    def test_exporter_writes_whole_lines(self, tmp_path):
+        path = tmp_path / "shared.jsonl"
+        # Two exporters on one file model two processes sharing a trace.
+        with trace.JsonlExporter(path) as left, trace.JsonlExporter(path) as right:
+            left.write({"who": "left"})
+            right.write({"who": "right"})
+            left.write({"who": "left"})
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["who"] for r in records] == ["left", "right", "left"]

@@ -1,6 +1,5 @@
 """Tests for the longitudinal economy simulation."""
 
-import pytest
 
 from repro.sim import Economy, EconomyConfig
 

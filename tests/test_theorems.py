@@ -6,7 +6,6 @@ instances, cross-checking the polynomial shortcuts against exhaustive
 ground truth.
 """
 
-import random
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
