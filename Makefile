@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench verify
+.PHONY: test lint chaos bench-smoke bench verify
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	ruff check src tests benchmarks
+
+# Fault-injection suite: worker death, budget trips, corrupted
+# checkpoints, clock skew — run with a 2-worker pool so the
+# supervision paths actually fan out.
+chaos:
+	REPRO_CHAOS_WORKERS=2 $(PYTHON) -m pytest tests/test_failure_injection.py tests/test_resilience.py -q
 
 # Sub-minute perf guard: the before/after BFS ladder (writes
 # benchmarks/results/BENCH_bfs.json) with tight, env-overridable caps.
@@ -17,4 +23,4 @@ bench-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -s
 
-verify: test bench-smoke
+verify: test chaos bench-smoke

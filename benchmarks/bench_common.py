@@ -62,10 +62,31 @@ def save_json(
             recorder = candidate
     if recorder is not None and "metrics" not in payload:
         payload = {**payload, "metrics": recorder.snapshot()}
+    if recorder is not None and "resilience" not in payload:
+        payload = {**payload, "resilience": resilience_summary(recorder)}
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / filename
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def resilience_summary(recorder: obs_metrics.MemoryRecorder) -> dict:
+    """The resilience story of a run, as a small stable dict.
+
+    Degradation/retry/fault counters (see ``repro.obs.events``) land in
+    every bench artifact so a PR that starts degrading rings or
+    retrying chunks shows up in the perf history, not just in prose.
+    """
+    counters = recorder.counters
+    return {
+        "degradations": counters.get("resilience.degradations", 0),
+        "retries": counters.get("resilience.retries", 0),
+        "worker_lost": counters.get("resilience.worker_lost", 0),
+        "faults_injected": counters.get("resilience.faults", 0),
+        "checkpoints": counters.get("resilience.checkpoints", 0),
+        "resumes": counters.get("resilience.resumes", 0),
+        "fail_closed": counters.get("resilience.fail_closed", 0),
+    }
 
 
 def trend(values: list[float]) -> float:

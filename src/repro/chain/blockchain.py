@@ -22,6 +22,7 @@ from typing import Callable, Iterable
 
 from ..core.ring import Ring, RingSet, TokenUniverse
 from ..obs.clock import Clock, wall_clock
+from ..resilience import faults
 from ..crypto.hashing import sha512
 from ..crypto.lsag import verify as lsag_verify
 from .block import GENESIS_HASH, Block
@@ -204,10 +205,21 @@ class Blockchain:
             self._tokens[output.token_id] = output
 
     def make_block(self, transactions: Iterable[Transaction], timestamp: float | None = None) -> Block:
-        """Assemble (but do not append) the next block."""
+        """Assemble (but do not append) the next block.
+
+        Fault site ``chain.clock``: an active
+        :class:`~repro.resilience.faults.FaultPlan` with a ``skew``
+        action shifts the timestamp read by the spec's payload seconds
+        (clock-skew chaos; explicit ``timestamp`` arguments bypass it).
+        """
+        if timestamp is None:
+            timestamp = self.clock()
+            plan = faults.active()
+            if plan is not None:
+                timestamp += plan.skew("chain.clock")
         return Block(
             height=self.height,
             prev_hash=self.tip_hash,
-            timestamp=self.clock() if timestamp is None else timestamp,
+            timestamp=timestamp,
             transactions=tuple(transactions),
         )

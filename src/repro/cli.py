@@ -6,20 +6,36 @@ Usage::
     python -m repro.cli fig5 --instances 100 --seed 3
     python -m repro.cli fig4 --budget 30
     python -m repro.cli sim --ticks 20
+    python -m repro.cli select --rings 4 --budget 5 --checkpoint cp.json
 
 Each figure command prints the same table its benchmark writes; the
-``sim`` command runs the longitudinal economy simulation.
+``sim`` command runs the longitudinal economy simulation; ``select``
+generates sequential rings through the resilience ladder
+(:mod:`repro.resilience`).
 
 Every command also accepts the observability flags ``--metrics`` (print
-a counter/histogram summary after the run) and ``--trace-out PATH``
-(dump the hierarchical span tree as JSONL); see ``repro.obs``.
+a counter/histogram summary after the run), ``--trace-out PATH`` (dump
+the hierarchical span tree as JSONL; see ``repro.obs``) and
+``--fault-plan PATH`` (install a :mod:`repro.resilience.faults` plan
+for chaos runs).
+
+Exit codes follow sysexits where a typed failure escapes: 75
+(EX_TEMPFAIL) when the exact search ran out of budget, 65 (EX_DATAERR)
+when the ladder failed closed on a Definition 5 violation.  A run that
+*degraded* but still produced a verified ring exits 0 with a notice on
+stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable
+
+#: sysexits(3)-style codes for the typed failures (satellite contract).
+EXIT_BUDGET_EXCEEDED = 75
+EXIT_CONSTRAINT_VIOLATION = 65
 
 from .experiments.figures import (
     fig3_output_distribution,
@@ -102,6 +118,95 @@ def _run_sim(args: argparse.Namespace) -> None:
               f"mean effective ring size {metrics.mean_effective_size:.2f}")
 
 
+def _run_select(args: argparse.Namespace) -> int:
+    """Sequential ring generations through the degradation ladder.
+
+    Same synthetic sequential-ring setup as ``fig4`` (the workload
+    whose cost explosion motivates degradation), but each generation
+    goes through :func:`repro.resilience.ladder.ladder_select` — or
+    plain :func:`repro.core.bfs.bfs_select` under ``--exact-only``, in
+    which case a budget trip escapes as exit code 75.
+    """
+    import random
+
+    from .core.bfs import bfs_select
+    from .core.problem import DamsInstance, InfeasibleError
+    from .core.ring import Ring, TokenUniverse
+    from .resilience.ladder import ladder_select
+    from .resilience.supervisor import RetryPolicy
+
+    rng = random.Random(args.seed)
+    universe = TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(args.hts)}" for i in range(args.tokens)}
+    )
+    rings: list[Ring] = []
+    consumed: set[str] = set()
+    resume = args.resume
+    degraded = 0
+
+    print(f"{'ring':>4} | {'target':>6} | {'size':>4} | {'rung':>11} | claim")
+    print("-" * 48)
+    for ring_index in range(args.rings):
+        candidates = sorted(universe.tokens - consumed)
+        if not candidates:
+            break
+        target = candidates[rng.randrange(len(candidates))]
+        instance = DamsInstance(
+            universe, list(rings), target, c=args.c, ell=args.ell
+        )
+        try:
+            if args.exact_only:
+                solved = bfs_select(
+                    instance,
+                    time_budget=args.budget,
+                    workers=args.workers,
+                    supervision=RetryPolicy() if args.workers > 1 else None,
+                    checkpoint_path=args.checkpoint,
+                    resume_from=resume,
+                )
+                tokens, rung = solved.ring.tokens, "exact"
+                claimed_c, claimed_ell = args.c, args.ell
+            else:
+                outcome = ladder_select(
+                    instance,
+                    time_budget=args.budget,
+                    workers=args.workers,
+                    supervision=RetryPolicy() if args.workers > 1 else None,
+                    checkpoint_path=args.checkpoint,
+                    resume_from=resume,
+                    rng=rng,
+                )
+                tokens, rung = outcome.result.tokens, outcome.rung
+                claimed_c, claimed_ell = outcome.claimed_c, outcome.claimed_ell
+                if outcome.degraded:
+                    degraded += 1
+                    print(
+                        f"notice: ring {ring_index + 1} degraded to rung "
+                        f"{outcome.rung!r} (trigger: {outcome.trigger}); "
+                        f"verified at ({outcome.claimed_c}, "
+                        f"{outcome.claimed_ell})-diversity",
+                        file=sys.stderr,
+                    )
+        except InfeasibleError:
+            print(f"{ring_index + 1:>4} | {target:>6} | {'-':>4} | "
+                  f"{'infeasible':>11} | -")
+            break
+        resume = None  # a checkpoint resumes only the first generation
+        print(f"{ring_index + 1:>4} | {target:>6} | {len(tokens):>4} | "
+              f"{rung:>11} | ({claimed_c}, {claimed_ell})")
+        rings.append(
+            Ring(rid=f"cli:{ring_index}", tokens=tokens, c=claimed_c,
+                 ell=claimed_ell, seq=len(rings))
+        )
+        consumed.add(target)
+
+    if degraded:
+        print(f"\n{degraded} of {len(rings)} ring(s) degraded; all emitted "
+              f"rings re-verified against their claimed requirement.",
+              file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -113,6 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record solver metrics and print a summary")
     obs.add_argument("--trace-out", metavar="PATH", default=None,
                      help="write hierarchical trace spans as JSONL to PATH")
+    obs.add_argument("--fault-plan", metavar="PATH", default=None,
+                     help="install a repro.resilience.faults FaultPlan "
+                          "from this JSON file (chaos testing)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig3 = sub.add_parser("fig3", parents=[obs],
@@ -152,42 +260,88 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--algorithm", default="progressive",
                      choices=["progressive", "game", "smallest", "random"])
 
+    select = sub.add_parser(
+        "select", parents=[obs],
+        help="sequential ring generation through the resilience ladder",
+    )
+    select.add_argument("--tokens", type=int, default=20,
+                        help="batch universe size (paper fig4: 20)")
+    select.add_argument("--hts", type=int, default=10,
+                        help="distinct holder types in the universe")
+    select.add_argument("--c", type=float, default=5.0)
+    select.add_argument("--ell", type=int, default=3)
+    select.add_argument("--seed", type=int, default=0)
+    select.add_argument("--rings", type=int, default=4,
+                        help="how many sequential rings to generate")
+    select.add_argument("--budget", type=float, default=None,
+                        help="per-ring wall-clock budget in seconds")
+    select.add_argument("--workers", type=int, default=0,
+                        help="processes for the exact scan (supervised "
+                             "when > 1)")
+    select.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="write stratum-boundary BFS checkpoints here")
+    select.add_argument("--resume", metavar="PATH", default=None,
+                        help="resume the first generation from this "
+                             "checkpoint")
+    select.add_argument("--exact-only", action="store_true",
+                        help="no degradation ladder: a budget trip exits "
+                             f"{EXIT_BUDGET_EXCEEDED}")
+
     return parser
 
 
-def _dispatch(args: argparse.Namespace) -> None:
+def _dispatch(args: argparse.Namespace) -> int | None:
     if args.command == "fig3":
         _run_fig3(args)
     elif args.command == "fig4":
         _run_fig4(args)
     elif args.command == "sim":
         _run_sim(args)
+    elif args.command == "select":
+        return _run_select(args)
     else:
         _run_sweep(args.command, args)
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     want_metrics = getattr(args, "metrics", False)
     trace_out = getattr(args, "trace_out", None)
+    fault_plan_path = getattr(args, "fault_plan", None)
 
-    if not want_metrics and trace_out is None:
-        _dispatch(args)
-        return 0
+    from .core.bfs import SearchBudgetExceeded
+    from .resilience import faults
+    from .resilience.checkpoint import CheckpointError
+    from .resilience.ladder import ConstraintViolation
 
     tracer = obs_trace.Tracer() if trace_out is not None else None
     recorder = obs_metrics.MemoryRecorder() if want_metrics else None
     try:
-        if tracer is not None and recorder is not None:
-            with obs_trace.tracing(tracer), obs_metrics.recording(recorder):
-                _dispatch(args)
-        elif tracer is not None:
-            with obs_trace.tracing(tracer):
-                _dispatch(args)
-        else:
-            assert recorder is not None
-            with obs_metrics.recording(recorder):
-                _dispatch(args)
+        with contextlib.ExitStack() as stack:
+            if fault_plan_path is not None:
+                stack.enter_context(
+                    faults.injecting(faults.FaultPlan.load(fault_plan_path))
+                )
+            if tracer is not None:
+                stack.enter_context(obs_trace.tracing(tracer))
+            if recorder is not None:
+                stack.enter_context(obs_metrics.recording(recorder))
+            code = _dispatch(args)
+    except SearchBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if getattr(exc, "checkpoint_path", None) is not None:
+            print(f"checkpoint written to {exc.checkpoint_path}; resume "
+                  f"with --resume", file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
+    except ConstraintViolation as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONSTRAINT_VIOLATION
+    except CheckpointError as exc:
+        # Corrupted or mismatched resume data: same sysexits family as
+        # the fail-closed path (EX_DATAERR).
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONSTRAINT_VIOLATION
     finally:
         # Flush whatever was observed even if the command raised.
         if recorder is not None:
@@ -196,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
         if tracer is not None:
             count = tracer.export_jsonl(trace_out)
             print(f"wrote {count} spans to {trace_out}")
-    return 0
+    return 0 if code is None else code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from itertools import combinations as subset_combinations
 
 from ..obs import events, metrics, trace
+from ..resilience import faults
 from .diversity import ht_counts_satisfy
 from .perf.cache import SolverCache
 from .perf.matching import IncrementalMatcher
@@ -69,6 +70,9 @@ class SearchBudgetExceeded(RuntimeError):
             started when the budget ran out.
         margin_s: ``deadline - now`` at the trip (negative means the
             search overshot the budget by that much).
+        checkpoint_path: where the last stratum-boundary checkpoint was
+            written (None when checkpointing was off or no stratum had
+            completed) — pass it back as ``resume_from`` to continue.
     """
 
     def __init__(
@@ -82,6 +86,7 @@ class SearchBudgetExceeded(RuntimeError):
         self.size = size
         self.scanned_in_size = scanned_in_size
         self.margin_s = margin_s
+        self.checkpoint_path = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,6 +114,9 @@ def bfs_select(
     max_mixins: int | None = None,
     workers: int = 0,
     cache: SolverCache | None = None,
+    supervision=None,
+    checkpoint_path=None,
+    resume_from=None,
 ) -> BfsResult:
     """Run Algorithm 2 on ``instance`` and return the optimal ring.
 
@@ -124,10 +132,25 @@ def bfs_select(
             (<= 1 means serial).  Results are identical to serial.
         cache: reuse a :class:`SolverCache` across calls sharing the
             same universe + ring history (one is created if omitted).
+        supervision: a :class:`~repro.resilience.supervisor.RetryPolicy`
+            to requeue chunks lost to dead/hung workers (parallel runs
+            only); ``None`` detects the loss but does not retry.
+        checkpoint_path: write a stratum-boundary
+            :class:`~repro.resilience.checkpoint.BfsCheckpoint` here
+            after every exhausted stratum, so a later call can resume.
+        resume_from: a checkpoint (path or
+            :class:`~repro.resilience.checkpoint.BfsCheckpoint`) from a
+            previous run on the *same* instance; the search restarts at
+            the recorded stratum and reproduces the uninterrupted
+            result exactly.
 
     Raises:
         InfeasibleError: the full search space holds no feasible ring.
-        SearchBudgetExceeded: the time budget ran out first.
+        SearchBudgetExceeded: the time budget ran out first; carries
+            ``checkpoint_path`` when a checkpoint was written.
+        CheckpointError: ``resume_from`` is corrupted or belongs to a
+            different instance.
+        WorkerLost: a parallel worker died/hung unrecoverably.
     """
     start = time.perf_counter()
     deadline = None if time_budget is None else start + time_budget
@@ -138,6 +161,45 @@ def bfs_select(
     if cache is None:
         cache = SolverCache(instance.universe, instance.rings)
     checked = 0
+
+    fingerprint = None
+    if checkpoint_path is not None or resume_from is not None:
+        from ..resilience.checkpoint import instance_fingerprint
+
+        fingerprint = instance_fingerprint(instance)
+    if resume_from is not None:
+        lower, checked = _resume(
+            instance, resume_from, fingerprint, lower, cache, deadline
+        )
+    wrote_checkpoint = False
+
+    def _checkpoint_boundary(next_size: int) -> None:
+        """Persist progress after a fully scanned stratum."""
+        nonlocal wrote_checkpoint
+        if checkpoint_path is None:
+            return
+        from ..resilience.checkpoint import BfsCheckpoint, save_checkpoint
+
+        save_checkpoint(
+            checkpoint_path,
+            BfsCheckpoint(
+                fingerprint=fingerprint,
+                next_size=next_size,
+                candidates_checked=checked,
+                elapsed=time.perf_counter() - start,
+                cache_keys=cache.worlds_keys(),
+            ),
+        )
+        wrote_checkpoint = True
+        if events.enabled():
+            events.emit(
+                events.CheckpointSaved(size=next_size - 1, candidates=checked)
+            )
+
+    def _with_checkpoint(exc: SearchBudgetExceeded) -> SearchBudgetExceeded:
+        if wrote_checkpoint:
+            exc.checkpoint_path = checkpoint_path
+        return exc
 
     with trace.span(
         "bfs.select",
@@ -151,18 +213,26 @@ def bfs_select(
                 scanned_in_size = 0
                 stream = subset_combinations(sigma, size)
                 if workers:
-                    outcome, index, winner = scan_candidates(
-                        instance, stream, workers, deadline=deadline
-                    )
+                    if supervision is not None:
+                        from ..resilience.supervisor import supervised_scan
+
+                        outcome, index, winner = supervised_scan(
+                            instance, stream, workers, deadline=deadline,
+                            policy=supervision,
+                        )
+                    else:
+                        outcome, index, winner = scan_candidates(
+                            instance, stream, workers, deadline=deadline
+                        )
                     if stratum_span is not None:
                         stratum_span.attrs["candidates"] = index + (
                             1 if outcome == "found" else 0
                         )
                     if outcome == "budget":
-                        raise _trip_budget(
+                        raise _with_checkpoint(_trip_budget(
                             time_budget, checked + index + 1, size, index + 1,
                             deadline,
-                        )
+                        ))
                     if outcome == "found":
                         checked += index + 1
                         return _finish(
@@ -174,12 +244,13 @@ def bfs_select(
                         events.emit(
                             events.StratumExhausted(size=size, candidates=index)
                         )
+                    _checkpoint_boundary(size + 1)
                     continue
                 for mixin_tuple in stream:
                     if deadline is not None and time.perf_counter() > deadline:
-                        raise _trip_budget(
+                        raise _with_checkpoint(_trip_budget(
                             time_budget, checked, size, scanned_in_size, deadline
-                        )
+                        ))
                     checked += 1
                     scanned_in_size += 1
                     candidate = instance.make_ring(mixin_tuple)
@@ -189,7 +260,7 @@ def bfs_select(
                         )
                     except SearchBudgetExceeded as exc:
                         _annotate_trip(exc, size, scanned_in_size, deadline)
-                        raise
+                        raise _with_checkpoint(exc)
                     if feasible:
                         if stratum_span is not None:
                             stratum_span.attrs["candidates"] = scanned_in_size
@@ -205,10 +276,47 @@ def bfs_select(
                             size=size, candidates=scanned_in_size
                         )
                     )
+                _checkpoint_boundary(size + 1)
         raise InfeasibleError(
             f"no feasible ring for token {instance.target_token!r} under "
             f"({instance.c}, {instance.ell})-diversity"
         )
+
+
+def _resume(
+    instance: DamsInstance,
+    resume_from,
+    fingerprint: str,
+    lower: int,
+    cache: SolverCache,
+    deadline: float | None,
+) -> tuple[int, int]:
+    """Validate a checkpoint and return the (start stratum, checked) pair."""
+    from ..resilience.checkpoint import (
+        BfsCheckpoint,
+        CheckpointError,
+        load_checkpoint,
+    )
+
+    checkpoint = (
+        resume_from
+        if isinstance(resume_from, BfsCheckpoint)
+        else load_checkpoint(resume_from)
+    )
+    if checkpoint.fingerprint != fingerprint:
+        raise CheckpointError(
+            "checkpoint belongs to a different DA-MS instance "
+            f"(fingerprint {checkpoint.fingerprint[:12]}… != "
+            f"{fingerprint[:12]}…)"
+        )
+    # Pre-warm the shared-world cache with the entries the interrupted
+    # run had built; the keys come from the checkpoint, the worlds are
+    # recomputed (they are derived data, not trusted from disk).
+    for key in checkpoint.cache_keys:
+        cache.base_worlds(frozenset(key), deadline=deadline)
+    if events.enabled():
+        events.emit(events.CheckpointResumed(size=checkpoint.next_size))
+    return max(lower, checkpoint.next_size), checkpoint.candidates_checked
 
 
 def _finish(
@@ -286,6 +394,9 @@ def _candidate_feasible(
         SearchBudgetExceeded: the deadline passed mid-check (the seed
             only noticed between candidates; see the module docstring).
     """
+    plan = faults.active()
+    if plan is not None:
+        plan.check("bfs.candidate")
     universe = instance.universe
     obs_on = events.enabled()
     size = len(candidate.tokens) - 1  # mixin count: the stratum this is in

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ...obs import events
+from ...resilience import faults
 from ..ring import Ring, TokenUniverse
 from .worlds import WorldSet
 
@@ -133,8 +134,18 @@ class SolverCache:
 
     # -- shared world prefixes --------------------------------------------
 
+    def worlds_keys(self) -> tuple[tuple[int, ...], ...]:
+        """The cached world keys, canonically ordered (for checkpoints)."""
+        return tuple(sorted(tuple(sorted(key)) for key in self._worlds))
+
     def base_worlds(self, key: frozenset[int], deadline: float | None = None) -> WorldSet:
         """The (cached) WorldSet of the related rings under ``key``."""
+        plan = faults.active()
+        if plan is not None and plan.check("cache.worlds") is not None:
+            # Cooperative corruption: drop the cached entry so the world
+            # set is rebuilt from the rings — correctness must not
+            # depend on a cache hit.
+            self._worlds.pop(key, None)
         worlds = self._worlds.get(key)
         if worlds is None:
             self.stats.worlds_misses += 1

@@ -37,7 +37,8 @@ import multiprocessing
 from itertools import islice
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from ...obs import events, metrics, trace
+from ...obs import metrics, trace
+from ...resilience import faults
 from ..ring import Ring
 
 __all__ = [
@@ -45,7 +46,32 @@ __all__ = [
     "chunked",
     "scan_candidates",
     "parallel_map_rings",
+    "WorkerLost",
 ]
+
+
+class WorkerLost(RuntimeError):
+    """A pool worker died or hung and its chunk could not be recovered.
+
+    The seed behaviour was worse than an error: a crashed child left
+    ``Pool.imap`` blocked on a result that would never arrive, hanging
+    the controller until pool teardown.  The windowed engine in
+    :mod:`repro.resilience.supervisor` detects the loss (sentinel
+    timeout, tightened on observed child death) and raises this typed
+    error — or, under a :class:`~repro.resilience.supervisor.RetryPolicy`
+    with retries, requeues the chunk instead.
+
+    Attributes:
+        chunk_index: global index of the unrecoverable chunk.
+        attempts: how many times the chunk was attempted.
+    """
+
+    def __init__(
+        self, message: str, chunk_index: int | None = None, attempts: int = 1
+    ) -> None:
+        super().__init__(message)
+        self.chunk_index = chunk_index
+        self.attempts = attempts
 
 #: Candidates per task sent to a BFS worker.  Large enough to amortize
 #: pickling, small enough that the controller can stop soon after a hit.
@@ -99,9 +125,14 @@ def _init_bfs_worker(instance, deadline, record: bool) -> None:
 
 
 def _scan_chunk(
-    chunk: list[tuple[str, ...]],
+    task: tuple[list[tuple[str, ...]], int, int],
 ) -> tuple[str, int, tuple[str, ...] | None, list[dict] | None]:
     """Scan one chunk: (outcome, index, mixins-or-None, snapshots-or-None).
+
+    ``task`` is ``(chunk, chunk_index, attempt)`` — the global chunk
+    index and retry attempt exist so the ``parallel.worker_chunk``
+    fault site can target one chunk's first attempt deterministically
+    (worker-death chaos) while its requeued retry survives.
 
     Outcomes: ("found", i, mixins, snaps) | ("none", n, None, snaps) |
     ("budget", i, None, snaps).  ``snaps`` holds one metrics snapshot
@@ -111,6 +142,10 @@ def _scan_chunk(
     """
     from ..bfs import SearchBudgetExceeded, _candidate_feasible
 
+    chunk, chunk_index, attempt = task
+    plan = faults.active()
+    if plan is not None:
+        plan.check("parallel.worker_chunk", index=chunk_index, attempt=attempt)
     instance = _STATE["instance"]
     cache = _STATE["cache"]
     deadline = _STATE["deadline"]
@@ -146,6 +181,7 @@ def scan_candidates(
     workers: int,
     deadline: float | None = None,
     chunk_size: int = BFS_CHUNK_SIZE,
+    hang_timeout: float | None = None,
 ) -> tuple[str, int, tuple[str, ...] | None]:
     """Find the first feasible candidate of a (lexicographic) stream.
 
@@ -162,29 +198,34 @@ def scan_candidates(
     in submission order, truncated at the winning (or tripping)
     candidate — the merged totals match a serial scan of the same
     prefix (see :mod:`repro.obs.events`).
+
+    A chunk whose worker dies or answers nothing within ``hang_timeout``
+    seconds (default :data:`~repro.resilience.supervisor.DEFAULT_HANG_TIMEOUT`)
+    raises :class:`WorkerLost` instead of blocking forever; use
+    :func:`repro.resilience.supervisor.supervised_scan` to requeue the
+    chunk and keep scanning instead.
+
+    Raises:
+        WorkerLost: a worker died or hung and took its chunk with it.
     """
-    recorder = metrics.active()
-    offset = 0
-    chunk_index = 0
-    with _pool(
-        workers, _init_bfs_worker, (instance, deadline, recorder is not None)
-    ) as pool:
-        results = pool.imap(_scan_chunk, chunked(candidate_stream, chunk_size))
-        for outcome, local, winner, snaps in results:
-            events.merge_worker_snapshots(recorder, snaps)
-            if trace.active() is not None:
-                trace.instant(
-                    "bfs.chunk",
-                    index=chunk_index,
-                    outcome=outcome,
-                    candidates=local + (1 if outcome != "none" else 0),
-                )
-            chunk_index += 1
-            if outcome in ("found", "budget"):
-                pool.terminate()
-                return (outcome, offset + local, winner)
-            offset += local
-    return ("none", offset, None)
+    from ...resilience.supervisor import (
+        DEFAULT_HANG_TIMEOUT,
+        RetryPolicy,
+        windowed_scan,
+    )
+
+    policy = RetryPolicy(
+        max_retries=0,
+        hang_timeout=DEFAULT_HANG_TIMEOUT if hang_timeout is None else hang_timeout,
+    )
+    return windowed_scan(
+        instance,
+        candidate_stream,
+        workers,
+        deadline=deadline,
+        chunk_size=chunk_size,
+        policy=policy,
+    )
 
 
 # -- chain-reaction fan-out ------------------------------------------------

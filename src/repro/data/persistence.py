@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core.ring import Ring, TokenUniverse
+from ..resilience import faults
 
 __all__ = [
     "DATASET_FORMAT_VERSION",
@@ -98,5 +99,14 @@ def save_dataset(
 def load_dataset(
     path: str | Path,
 ) -> tuple[TokenUniverse, list[Ring], dict[str, Any]]:
-    """Read a dataset document from ``path``."""
+    """Read a dataset document from ``path``.
+
+    Fault site ``chain.load``: an active
+    :class:`~repro.resilience.faults.FaultPlan` can make this read fail
+    with an :class:`~repro.resilience.faults.InjectedIOError` (an
+    ``OSError``), exercising caller recovery paths.
+    """
+    plan = faults.active()
+    if plan is not None:
+        plan.check("chain.load")
     return dataset_from_dict(json.loads(Path(path).read_text()))

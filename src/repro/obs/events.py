@@ -51,6 +51,13 @@ __all__ = [
     "ReserveChecked",
     "NeighborInference",
     "AttackAnalyzed",
+    "FaultInjected",
+    "DegradationStepped",
+    "LadderFailClosed",
+    "WorkerRetry",
+    "WorkerChunkLost",
+    "CheckpointSaved",
+    "CheckpointResumed",
     "emit",
     "enabled",
     "merge_worker_snapshots",
@@ -218,6 +225,84 @@ class AttackAnalyzed:
         recorder.count(f"attack.{self.kind}_runs")
         recorder.count("attack.rings_analyzed", self.rings)
         recorder.count("attack.deanonymized", self.deanonymized)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected:
+    """An active :class:`~repro.resilience.faults.FaultPlan` fired."""
+
+    site: str
+    action: str
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("resilience.faults")
+        recorder.count(f"resilience.faults.{self.site}")
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationStepped:
+    """The ladder stepped down to ``rung`` because of ``trigger``."""
+
+    rung: str
+    trigger: str | None
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("resilience.degradations")
+        recorder.count(f"resilience.degradations.{self.rung}")
+
+
+@dataclass(frozen=True, slots=True)
+class LadderFailClosed:
+    """Every rung failed verification — the ladder refused to emit."""
+
+    rung: str
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("resilience.fail_closed")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerRetry:
+    """A lost/hung worker chunk was requeued (attempt is 1-based)."""
+
+    chunk_index: int
+    attempt: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("resilience.retries")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerChunkLost:
+    """A chunk exhausted its retries — WorkerLost is about to raise."""
+
+    chunk_index: int
+    attempts: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("resilience.worker_lost")
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointSaved:
+    """A BFS stratum boundary was checkpointed to disk."""
+
+    size: int
+    candidates: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("resilience.checkpoints")
+        recorder.gauge("resilience.checkpoint_size", self.size)
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointResumed:
+    """A BFS search resumed from a checkpoint at stratum ``size``."""
+
+    size: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("resilience.resumes")
 
 
 def enabled() -> bool:

@@ -1,0 +1,174 @@
+"""Stratum-boundary checkpoints for the exact BFS search.
+
+The BFS scans candidate mixin sets size stratum by size stratum; a
+budget trip in stratum *k* wastes every stratum before it unless the
+search can resume.  :func:`repro.core.bfs.bfs_select` therefore writes
+a :class:`BfsCheckpoint` after each exhausted stratum when given a
+``checkpoint_path``, and ``bfs_select(resume_from=...)`` picks the
+search back up at the recorded stratum — reproducing the uninterrupted
+result exactly (same ring, same mixins, same ``candidates_checked``),
+because strata are enumerated deterministically and the checkpoint
+carries the cumulative candidate count.
+
+The file format is one JSON document::
+
+    {
+      "version": 1,
+      "fingerprint": "<sha256 of the instance>",
+      "next_size": 4,
+      "candidates_checked": 1351,
+      "elapsed": 0.82,
+      "cache_keys": [[0], [0, 1]],
+      "checksum": "<sha256 of the body>"
+    }
+
+``fingerprint`` binds the checkpoint to one exact DA-MS instance
+(universe labels, ring history, target, requirement), so resuming
+against a different instance is rejected; ``checksum`` detects file
+corruption; ``cache_keys`` lists the component-set world fingerprints
+the interrupted run had built, so the resumed run pre-warms its
+:class:`~repro.core.perf.cache.SolverCache` with the same entries.
+Every failure mode raises the typed :class:`CheckpointError` — never a
+bare ``KeyError``/``JSONDecodeError`` from halfway through a parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "BfsCheckpoint",
+    "instance_fingerprint",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is corrupted, mismatched or unreadable."""
+
+
+@dataclass(frozen=True, slots=True)
+class BfsCheckpoint:
+    """Progress of one BFS search at a stratum boundary.
+
+    Attributes:
+        fingerprint: :func:`instance_fingerprint` of the instance the
+            search ran on.
+        next_size: the first stratum not yet fully scanned.
+        candidates_checked: cumulative candidates checked through every
+            completed stratum.
+        elapsed: wall-clock seconds spent before the checkpoint (kept
+            for reporting; not folded into the resumed result).
+        cache_keys: sorted component-set fingerprints whose base worlds
+            had been built (pre-warmed on resume).
+    """
+
+    fingerprint: str
+    next_size: int
+    candidates_checked: int
+    elapsed: float
+    cache_keys: tuple[tuple[int, ...], ...] = ()
+
+    def body(self) -> dict:
+        """The JSON body (everything but the checksum)."""
+        return {
+            "version": CHECKPOINT_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "next_size": self.next_size,
+            "candidates_checked": self.candidates_checked,
+            "elapsed": self.elapsed,
+            "cache_keys": [list(key) for key in self.cache_keys],
+        }
+
+
+def _checksum(body: dict) -> str:
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def instance_fingerprint(instance) -> str:
+    """SHA-256 binding a checkpoint to one exact DA-MS instance.
+
+    Covers the universe's token → HT labels, the full ring history
+    (rid, tokens, claim, seq), the target token and the requirement —
+    anything that changes the candidate enumeration or the constraint
+    checks changes the fingerprint.
+    """
+    universe = instance.universe
+    document = {
+        "target": instance.target_token,
+        "c": instance.c,
+        "ell": instance.ell,
+        "tokens": {token: universe.ht_of(token) for token in sorted(universe)},
+        "rings": [
+            {
+                "rid": ring.rid,
+                "tokens": sorted(ring.tokens),
+                "c": ring.c,
+                "ell": ring.ell,
+                "seq": ring.seq,
+            }
+            for ring in instance.rings
+        ],
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def save_checkpoint(path: str | os.PathLike, checkpoint: BfsCheckpoint) -> Path:
+    """Write ``checkpoint`` atomically (write + rename) to ``path``."""
+    path = Path(path)
+    body = checkpoint.body()
+    body["checksum"] = _checksum(checkpoint.body())
+    scratch = path.with_suffix(path.suffix + ".tmp")
+    scratch.write_text(json.dumps(body, indent=1, sort_keys=True) + "\n")
+    scratch.replace(path)
+    return path
+
+
+def load_checkpoint(path: str | os.PathLike) -> BfsCheckpoint:
+    """Read and validate a checkpoint document.
+
+    Raises:
+        CheckpointError: unreadable file, bad JSON, version mismatch,
+            checksum mismatch, or malformed fields.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint {path} is not valid JSON") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"checkpoint {path} is not a JSON object")
+    if payload.get("version") != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version: {payload.get('version')!r}"
+        )
+    claimed = payload.pop("checksum", None)
+    if claimed != _checksum(payload):
+        raise CheckpointError(f"checkpoint {path} failed its integrity check")
+    try:
+        return BfsCheckpoint(
+            fingerprint=str(payload["fingerprint"]),
+            next_size=int(payload["next_size"]),
+            candidates_checked=int(payload["candidates_checked"]),
+            elapsed=float(payload["elapsed"]),
+            cache_keys=tuple(
+                tuple(int(cid) for cid in key) for key in payload["cache_keys"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint {path} has malformed fields") from exc

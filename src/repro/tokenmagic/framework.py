@@ -235,6 +235,72 @@ class TokenMagic:
             self._check_admissible(registry, result, c, ell)
             return self._record_generated(sp, result, start)
 
+    def generate_ring_resilient(
+        self,
+        token_id: str,
+        c: float,
+        ell: int,
+        time_budget: float | None = None,
+        max_mixins: int | None = None,
+        rng: random.Random | None = None,
+        checkpoint_path=None,
+        resume_from=None,
+    ):
+        """:meth:`generate_ring_exact` behind the degradation ladder.
+
+        The exact BFS runs first; if it trips its budget or loses a
+        worker unrecoverably, the ladder steps down through progressive
+        selection, the relaxation schedule, and the diversity-checked
+        baseline — re-verifying the Definition 5 constraints at every
+        rung and failing closed rather than emitting an unverified
+        ring.  Parallel exact runs (``config.parallel_workers`` > 1)
+        are supervised: dead or hung worker chunks are requeued.
+
+        Returns:
+            A :class:`~repro.resilience.ladder.DegradedResult`; its
+            ``.result`` is the accepted selection, ``.claimed_c`` /
+            ``.claimed_ell`` the (possibly relaxed) requirement it is
+            verified — and admission-checked — against.
+
+        Raises:
+            InfeasibleError: no feasible ring exists (exact proof), or
+                every rung failed.
+            ConstraintViolation: the last rung's ring failed Def. 5
+                re-verification (fail closed).
+            ReserveViolation: the eta rule forbids another ring.
+        """
+        from ..core.problem import DamsInstance
+        from ..resilience.ladder import ladder_select
+        from ..resilience.supervisor import RetryPolicy
+
+        workers = self.config.parallel_workers
+        start = time.perf_counter()
+        with trace.span(
+            "tokenmagic.generate_ring_resilient", token=token_id, budget=time_budget
+        ) as sp:
+            batch = batch_of_token(self.batches(), token_id)
+            registry = self.registry_for(batch)
+            instance = DamsInstance(
+                batch.universe, list(registry.rings), token_id, c=c, ell=ell
+            )
+            outcome = ladder_select(
+                instance,
+                time_budget=time_budget,
+                max_mixins=max_mixins,
+                workers=workers,
+                supervision=RetryPolicy() if workers and workers > 1 else None,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+                rng=rng,
+            )
+            self._check_admissible(
+                registry, outcome.result, outcome.claimed_c, outcome.claimed_ell
+            )
+            self._record_generated(sp, outcome.result, start)
+            if sp is not None:
+                sp.attrs["rung"] = outcome.rung
+            return outcome
+
     def audit_batch(self, batch: Batch):
         """Chain-reaction audit of every ring proposed over ``batch``.
 

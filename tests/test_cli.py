@@ -87,3 +87,63 @@ class TestObservabilityFlags:
         assert main(["fig4", "--budget", "2", "--max-rings", "1"]) == 0
         out = capsys.readouterr().out
         assert "== metrics ==" not in out
+
+
+class TestSelectCommand:
+    def test_select_registered_with_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["select", "--rings", "2", "--budget", "1",
+             "--checkpoint", "cp.json", "--fault-plan", "plan.json"]
+        )
+        assert args.command == "select"
+        assert args.checkpoint == "cp.json"
+        assert args.fault_plan == "plan.json"
+
+    def test_every_subcommand_accepts_fault_plan(self):
+        parser = build_parser()
+        for name in ("fig3", "fig4", "sim", "select"):
+            args = parser.parse_args([name, "--fault-plan", "p.json"])
+            assert args.fault_plan == "p.json"
+
+    def test_select_runs_clean(self, capsys):
+        assert main(["select", "--rings", "2", "--tokens", "12",
+                     "--hts", "6", "--c", "2.0", "--ell", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rung" in out
+        assert "exact" in out
+
+    def test_exact_only_budget_trip_exits_75(self, capsys):
+        assert main(["select", "--rings", "1", "--budget", "0",
+                     "--exact-only"]) == 75
+        err = capsys.readouterr().err
+        assert "exceeded" in err
+
+    def test_degraded_run_exits_zero_with_notice(self, capsys):
+        assert main(["select", "--rings", "1", "--budget", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "degraded" in captured.err
+        assert "progressive" in captured.out
+
+    def test_fault_plan_flag_installs_plan(self, tmp_path, capsys):
+        from repro.resilience.faults import FaultPlan, FaultSpec
+
+        plan_path = FaultPlan(
+            [FaultSpec(site="bfs.candidate", action="delay", payload=0.0)]
+        ).save(tmp_path / "plan.json")
+        assert main(["select", "--rings", "1", "--tokens", "10",
+                     "--hts", "5", "--c", "2.0", "--ell", "2",
+                     "--fault-plan", str(plan_path), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience.faults" in out
+
+    def test_checkpoint_flag_writes_resumable_file(self, tmp_path, capsys):
+        from repro.resilience.checkpoint import load_checkpoint
+
+        cp = tmp_path / "cp.json"
+        # All-distinct HTs at (1.0, 2): the first stratum always fails
+        # (1 < 1.0 * 1), so a checkpoint lands on disk before the win.
+        flags = ["--rings", "1", "--tokens", "8", "--hts", "999",
+                 "--c", "1.0", "--ell", "2"]
+        assert main(["select", *flags, "--checkpoint", str(cp)]) == 0
+        assert load_checkpoint(cp).next_size >= 2
+        assert main(["select", *flags, "--resume", str(cp)]) == 0
