@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint chaos bench-smoke bench verify
+.PHONY: test lint chaos bench-smoke bench docs verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,4 +23,10 @@ bench-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -s
 
-verify: test chaos bench-smoke
+# Documentation gate: every markdown link/anchor resolves and every
+# public-API docstring example still runs.
+docs:
+	$(PYTHON) tools/check_docs.py
+	$(PYTHON) -m pytest tests/test_doctests.py -q
+
+verify: test chaos bench-smoke docs

@@ -1,0 +1,187 @@
+"""Batched-warm service vs sequential-cold one-shots.
+
+The workload is the hot-target pattern the service exists for: a few
+popular targets, each requested several times while the chain snapshot
+stays put.  The cold baseline re-solves every request from scratch
+(one-shot CLI semantics: fresh :class:`SolverCache` per call); the warm
+run pushes all requests through one :class:`SelectionService`, which
+shares the snapshot's solver cache across distinct targets and
+deduplicates repeats through the per-snapshot result memo.
+
+Claims asserted:
+
+* every warm response is byte-identical to its cold solve (tokens,
+  mixins, ``candidates_checked``) — the service changes *when* work
+  happens, never *what*;
+* the repeats were genuinely memo-served (counter check), inside one
+  micro-batch;
+* warm throughput is >= REPRO_BENCH_SERVICE_MIN_SPEEDUP x cold
+  (default 2.0).
+
+Writes ``benchmarks/results/BENCH_service.json`` with per-request
+timings, totals, the speedup and the service counter snapshot.
+"""
+
+import os
+import random
+import time
+
+from repro.core.bfs import bfs_select
+from repro.core.problem import DamsInstance
+from repro.core.ring import Ring, TokenUniverse
+from repro.obs import metrics as obs_metrics
+from repro.service import SelectionService, SelectRequest, ServiceConfig
+
+from bench_common import save_json, save_text
+
+TOKEN_COUNT = 18
+HT_COUNT = 6
+SEED = 5
+RING_COUNT = 4
+RING_SIZE = 4
+RING_C, RING_ELL = 2.0, 2  # the history's claimed requirement
+C, ELL = 4.0, 3  # the requests' requirement
+
+HOT_TARGETS = 4  # distinct popular targets...
+REPEAT = 4  # ...each requested this many times
+
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SERVICE_MIN_SPEEDUP", "2.0"))
+
+
+def workload() -> tuple[TokenUniverse, list[Ring], list[str]]:
+    """Universe, history and the hot-target request stream."""
+    rng = random.Random(SEED)
+    universe = TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(HT_COUNT)}" for i in range(TOKEN_COUNT)}
+    )
+    tokens = sorted(universe.tokens)
+    rings = []
+    for k in range(RING_COUNT):
+        low = k * (RING_SIZE - 1)  # chained overlap: one component
+        rings.append(
+            Ring(
+                f"r{k}",
+                frozenset(tokens[low : low + RING_SIZE]),
+                c=RING_C,
+                ell=RING_ELL,
+                seq=k,
+            )
+        )
+    spanned = set().union(*(ring.tokens for ring in rings))
+    targets = [token for token in tokens if token not in spanned][:HOT_TARGETS]
+    assert len(targets) == HOT_TARGETS, "universe too small for the workload"
+    # Interleave repeats (t13, t14, ..., t13, t14, ...): the memo, not
+    # request adjacency, has to provide the dedup.
+    return universe, rings, targets * REPEAT
+
+
+def test_service_batched_warm_vs_sequential_cold():
+    bench_start = time.perf_counter()
+    universe, rings, stream = workload()
+
+    # -- cold: one fresh solve per request, sequential ----------------------
+    cold_rows = []
+    cold_start = time.perf_counter()
+    for index, target in enumerate(stream):
+        instance = DamsInstance(universe, list(rings), target, c=C, ell=ELL)
+        started = time.perf_counter()
+        solved = bfs_select(instance)  # fresh SolverCache inside
+        cold_rows.append(
+            {
+                "request": index,
+                "target": target,
+                "seconds": time.perf_counter() - started,
+                "tokens": sorted(solved.ring.tokens),
+                "mixins": sorted(solved.mixins),
+                "candidates_checked": solved.candidates_checked,
+            }
+        )
+    cold_total = time.perf_counter() - cold_start
+
+    # -- warm: every request through one service, one micro-batch ----------
+    with obs_metrics.recording() as recorder:
+        service = SelectionService(
+            universe, rings, ServiceConfig(max_batch=len(stream))
+        )
+        pendings = [
+            service.submit(
+                SelectRequest(
+                    request_id=f"q{index}", target=target, c=C, ell=ELL,
+                    mode="exact",
+                )
+            )
+            for index, target in enumerate(stream)
+        ]
+        warm_start = time.perf_counter()
+        service.start()
+        try:
+            responses = [pending.wait(120.0) for pending in pendings]
+        finally:
+            service.stop()
+        warm_total = time.perf_counter() - warm_start
+        stats = service.stats()
+
+    # -- equivalence: the service changed nothing about the answers --------
+    warm_rows = []
+    for cold, response in zip(cold_rows, responses):
+        assert response.status == "ok", response.detail
+        assert sorted(response.tokens) == cold["tokens"]
+        assert sorted(response.mixins) == cold["mixins"]
+        assert response.candidates_checked == cold["candidates_checked"]
+        warm_rows.append(
+            {
+                "request": cold["request"],
+                "target": cold["target"],
+                "seconds": response.elapsed,
+                "memo": bool(response.attrs.get("memo")),
+                "batch_id": response.batch_id,
+            }
+        )
+    assert len({row["batch_id"] for row in warm_rows}) == 1  # one batch
+    expected_hits = len(stream) - HOT_TARGETS
+    assert stats["counters"]["memo.hits"] == expected_hits
+    assert stats["counters"]["memo.stores"] == HOT_TARGETS
+
+    speedup = cold_total / max(warm_total, 1e-9)
+    total = time.perf_counter() - bench_start
+    payload = {
+        "workload": {
+            "token_count": TOKEN_COUNT,
+            "ht_count": HT_COUNT,
+            "seed": SEED,
+            "ring_count": RING_COUNT,
+            "ring_size": RING_SIZE,
+            "history_claim": [RING_C, RING_ELL],
+            "request_claim": [C, ELL],
+            "hot_targets": HOT_TARGETS,
+            "repeat": REPEAT,
+            "requests": len(stream),
+        },
+        "cold": {"total_seconds": cold_total, "rows": cold_rows},
+        "warm": {
+            "total_seconds": warm_total,
+            "rows": warm_rows,
+            "service_stats": stats,
+        },
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "total_bench_seconds": total,
+    }
+    save_json("BENCH_service.json", payload, recorder=recorder)
+
+    lines = ["# Selection service: batched-warm vs sequential-cold", ""]
+    lines.append(
+        f"{len(stream)} requests ({HOT_TARGETS} hot targets x {REPEAT}): "
+        f"cold {cold_total:.3f}s, warm {warm_total:.3f}s, "
+        f"speedup {speedup:.2f}x "
+        f"(memo hits {stats['counters']['memo.hits']})"
+    )
+    text = "\n".join(lines)
+    save_text("BENCH_service.txt", text)
+    print("\n" + text)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected warm >= {MIN_SPEEDUP}x cold, got {speedup:.2f}x "
+        f"(cold {cold_total:.3f}s, warm {warm_total:.3f}s)"
+    )
+    assert total < 120, f"bench overran its time box: {total:.1f}s"

@@ -123,6 +123,19 @@ def exact_analysis(
         workers: fan the per-ring sweep across this many processes
             (<= 1 means serial).  The result is identical either way —
             each ring's possible set is independent of sweep order.
+
+    Example — a zero-mixin ring pins itself, and because every token
+    is consumed exactly once, it drags its neighbour down with it:
+
+        >>> from repro.core.ring import Ring
+        >>> rings = [
+        ...     Ring("r1", frozenset({"t1"}), c=1.0, ell=1, seq=0),
+        ...     Ring("r2", frozenset({"t1", "t2"}), c=1.0, ell=1, seq=1)]
+        >>> result = exact_analysis(rings)
+        >>> result.deanonymized == {"r1": "t1", "r2": "t2"}
+        True
+        >>> result.deanonymization_rate
+        1.0
     """
     with trace.span("attack.exact", rings=len(rings), workers=workers) as sp:
         forced = dict(side_information or {})

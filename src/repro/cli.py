@@ -7,11 +7,15 @@ Usage::
     python -m repro.cli fig4 --budget 30
     python -m repro.cli sim --ticks 20
     python -m repro.cli select --rings 4 --budget 5 --checkpoint cp.json
+    python -m repro.cli serve --socket /tmp/repro.sock
+    python -m repro.cli client --socket /tmp/repro.sock --target t03
 
 Each figure command prints the same table its benchmark writes; the
 ``sim`` command runs the longitudinal economy simulation; ``select``
 generates sequential rings through the resilience ladder
-(:mod:`repro.resilience`).
+(:mod:`repro.resilience`); ``serve`` runs the long-lived selection
+daemon (:mod:`repro.service`, JSONL over stdio or a unix socket) and
+``client`` submits requests to it.
 
 Every command also accepts the observability flags ``--metrics`` (print
 a counter/histogram summary after the run), ``--trace-out PATH`` (dump
@@ -207,6 +211,107 @@ def _run_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synthetic_universe(tokens: int, hts: int, seed: int):
+    """The fig4-style synthetic universe shared by select/serve."""
+    import random
+
+    from .core.ring import TokenUniverse
+
+    rng = random.Random(seed)
+    return TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(hts)}" for i in range(tokens)}
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the selection daemon over a synthetic snapshot.
+
+    Requests arrive as JSONL — on stdin by default, or over a unix
+    socket with ``--socket`` — and each is answered with one JSONL
+    response line (see ``docs/operations.md`` for the op vocabulary).
+    """
+    from .resilience.faults import FaultPlan
+    from .service import SelectionService, ServiceConfig, serve_socket, serve_stdio
+
+    fault_doc = None
+    if args.fault_plan is not None:
+        # Applied per request (fresh plan instance each time) rather
+        # than installed process-globally like the one-shot commands.
+        fault_doc = FaultPlan.load(args.fault_plan).to_dict()
+    universe = _synthetic_universe(args.tokens, args.hts, args.seed)
+    config = ServiceConfig(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        linger_s=args.batch_wait,
+        default_budget=args.budget,
+        workers=args.workers,
+        fault_plan=fault_doc,
+    )
+    with SelectionService(universe, config=config) as service:
+        if args.socket is not None:
+            print(f"listening on {args.socket}", file=sys.stderr)
+            served = serve_socket(service, args.socket)
+            print(f"served {served} connection(s)", file=sys.stderr)
+        else:
+            served = serve_stdio(service, sys.stdin, sys.stdout)
+            print(f"served {served} request line(s)", file=sys.stderr)
+        stats = service.stats()
+    print(
+        f"final epoch {stats['epoch']}, {stats['rings']} ring(s), "
+        f"{stats['refused']} refused of {stats['offered']} offered",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    """Submit requests to a running ``serve --socket`` daemon."""
+    import json
+
+    from .service import ServiceClient
+
+    with ServiceClient(args.socket, timeout=args.timeout) as client:
+        if args.requests is not None:
+            from .service.protocol import decode
+
+            with open(args.requests, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    print(json.dumps(
+                        client.request(decode(line)), sort_keys=True
+                    ))
+            return 0
+        if args.target is None:
+            print("error: provide --target or --requests", file=sys.stderr)
+            return 2
+        response = client.select(
+            target=args.target,
+            c=args.c,
+            ell=args.ell,
+            mode=args.mode,
+            epoch=args.epoch,
+            time_budget=args.budget,
+            seed=args.seed,
+        )
+        print(json.dumps(response.to_dict(), sort_keys=True))
+        if response.ok and args.commit:
+            print(json.dumps(
+                client.commit(response.tokens, c=args.c, ell=args.ell),
+                sort_keys=True,
+            ))
+        if not response.ok:
+            return (
+                EXIT_BUDGET_EXCEEDED
+                if response.code == "budget_exceeded"
+                else EXIT_CONSTRAINT_VIOLATION
+                if response.code == "constraint_violation"
+                else 1
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -287,6 +392,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="no degradation ladder: a budget trip exits "
                              f"{EXIT_BUDGET_EXCEEDED}")
 
+    serve = sub.add_parser(
+        "serve", parents=[obs],
+        help="long-running selection daemon (JSONL over stdio or socket)",
+    )
+    serve.add_argument("--tokens", type=int, default=20,
+                       help="batch universe size of the initial snapshot")
+    serve.add_argument("--hts", type=int, default=10,
+                       help="distinct holder types in the universe")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="listen on this unix socket (default: stdio)")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission bound; beyond it requests are "
+                            "rejected with queue_full")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="largest micro-batch executed at once")
+    serve.add_argument("--batch-wait", type=float, default=0.0,
+                       help="seconds to linger for batch-mates once a "
+                            "request is waiting")
+    serve.add_argument("--budget", type=float, default=None,
+                       help="default per-request exact-search budget (s)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="process fan-out per request's candidate scan")
+
+    client = sub.add_parser(
+        "client",
+        help="submit requests to a running `serve --socket` daemon",
+    )
+    client.add_argument("--socket", metavar="PATH", required=True)
+    client.add_argument("--requests", metavar="PATH", default=None,
+                        help="JSONL file of raw ops to replay")
+    client.add_argument("--target", default=None,
+                        help="token to consume (single-request mode)")
+    client.add_argument("--c", type=float, default=2.0)
+    client.add_argument("--ell", type=int, default=2)
+    client.add_argument("--mode", default="ladder",
+                        choices=["exact", "ladder"])
+    client.add_argument("--epoch", type=int, default=None,
+                        help="pin the request to this snapshot epoch")
+    client.add_argument("--budget", type=float, default=None)
+    client.add_argument("--seed", type=int, default=0)
+    client.add_argument("--commit", action="store_true",
+                        help="commit the selected ring (advances the epoch)")
+    client.add_argument("--timeout", type=float, default=60.0)
+
     return parser
 
 
@@ -299,6 +449,10 @@ def _dispatch(args: argparse.Namespace) -> int | None:
         _run_sim(args)
     elif args.command == "select":
         return _run_select(args)
+    elif args.command == "serve":
+        return _run_serve(args)
+    elif args.command == "client":
+        return _run_client(args)
     else:
         _run_sweep(args.command, args)
     return None
@@ -309,6 +463,10 @@ def main(argv: list[str] | None = None) -> int:
     want_metrics = getattr(args, "metrics", False)
     trace_out = getattr(args, "trace_out", None)
     fault_plan_path = getattr(args, "fault_plan", None)
+    if args.command == "serve":
+        # `serve` scopes the plan per request (fresh instance each
+        # time) instead of installing one process-global plan.
+        fault_plan_path = None
 
     from .core.bfs import SearchBudgetExceeded
     from .resilience import faults

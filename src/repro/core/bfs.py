@@ -151,6 +151,23 @@ def bfs_select(
         CheckpointError: ``resume_from`` is corrupted or belongs to a
             different instance.
         WorkerLost: a parallel worker died/hung unrecoverably.
+
+    Example — the paper's Example 1 (two prior rings over {t1, t2};
+    spending t3 at (2, 2)-diversity needs exactly one mixin):
+
+        >>> from repro.core.problem import DamsInstance
+        >>> from repro.core.ring import Ring, TokenUniverse
+        >>> universe = TokenUniverse(
+        ...     {"t1": "h1", "t2": "h2", "t3": "h1", "t4": "h3"})
+        >>> history = [
+        ...     Ring("r1", frozenset({"t1", "t2"}), c=2.0, ell=2, seq=0),
+        ...     Ring("r2", frozenset({"t1", "t2"}), c=2.0, ell=2, seq=1)]
+        >>> result = bfs_select(
+        ...     DamsInstance(universe, history, "t3", c=2.0, ell=2))
+        >>> sorted(result.ring.tokens)
+        ['t3', 't4']
+        >>> sorted(result.mixins)
+        ['t4']
     """
     start = time.perf_counter()
     deadline = None if time_budget is None else start + time_budget

@@ -58,6 +58,11 @@ __all__ = [
     "WorkerChunkLost",
     "CheckpointSaved",
     "CheckpointResumed",
+    "RequestAdmitted",
+    "RequestRejected",
+    "BatchExecuted",
+    "MemoServed",
+    "EpochAdvanced",
     "emit",
     "enabled",
     "merge_worker_snapshots",
@@ -303,6 +308,64 @@ class CheckpointResumed:
 
     def record(self, recorder: metrics.Recorder) -> None:
         recorder.count("resilience.resumes")
+
+
+@dataclass(frozen=True, slots=True)
+class RequestAdmitted:
+    """The selection service accepted a request into its queue."""
+
+    queue_depth: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("service.admitted")
+        recorder.gauge("service.queue_depth", self.queue_depth)
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRejected:
+    """The service refused a request with a typed ``code``
+    ("queue_full", "stale_epoch", "bad_request", ...)."""
+
+    code: str
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("service.rejected")
+        recorder.count(f"service.rejected.{self.code}")
+
+
+@dataclass(frozen=True, slots=True)
+class BatchExecuted:
+    """One micro-batch drained and served against a single snapshot."""
+
+    size: int
+    epoch: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("service.batches")
+        recorder.observe("service.batch_size", self.size)
+
+
+@dataclass(frozen=True, slots=True)
+class MemoServed:
+    """A request was answered from the snapshot's result memo."""
+
+    mode: str
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("service.memo_hits")
+        recorder.count(f"service.memo_hits.{self.mode}")
+
+
+@dataclass(frozen=True, slots=True)
+class EpochAdvanced:
+    """The chain snapshot grew; warm caches were invalidated."""
+
+    epoch: int
+    rings: int
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("service.epoch_advances")
+        recorder.gauge("service.epoch", self.epoch)
 
 
 def enabled() -> bool:

@@ -174,6 +174,7 @@ def ladder_select(
     resume_from=None,
     rng: random.Random | None = None,
     rungs: tuple[str, ...] = RUNGS,
+    cache=None,
 ) -> DegradedResult:
     """Run the ladder on ``instance`` and return a verified ring.
 
@@ -183,6 +184,11 @@ def ladder_select(
         time_budget / max_mixins / workers / supervision /
             checkpoint_path / resume_from: forwarded to the exact rung's
             :func:`~repro.core.bfs.bfs_select`.
+        cache: a :class:`~repro.core.perf.cache.SolverCache` shared with
+            other selections over the same (universe, ring history)
+            snapshot — the service layer passes its per-epoch warm
+            cache here.  Purely a work-sharing handle: results are
+            identical with or without it.
         rng: randomness for the degraded selectors (the exact rung is
             deterministic).
         rungs: which rungs to try, in order — tests force individual
@@ -194,6 +200,22 @@ def ladder_select(
         ConstraintViolation: the last rung tried produced a ring that
             failed re-verification (fail closed).
         CheckpointError: ``resume_from`` was corrupted or mismatched.
+
+    Example — when nothing fails the ladder is just the exact solver
+    plus a re-verification, and reports itself undegraded:
+
+        >>> from repro.core.problem import DamsInstance
+        >>> from repro.core.ring import Ring, TokenUniverse
+        >>> universe = TokenUniverse(
+        ...     {"t1": "h1", "t2": "h2", "t3": "h1", "t4": "h3"})
+        >>> history = [
+        ...     Ring("r1", frozenset({"t1", "t2"}), c=2.0, ell=2, seq=0)]
+        >>> outcome = ladder_select(
+        ...     DamsInstance(universe, history, "t3", c=2.0, ell=2))
+        >>> (outcome.rung, outcome.degraded)
+        ('exact', False)
+        >>> sorted(outcome.result.tokens)
+        ['t3', 't4']
     """
     if modules is None:
         modules = ModuleUniverse(instance.universe, instance.rings)
@@ -219,6 +241,7 @@ def ladder_select(
                     checkpoint_path=checkpoint_path,
                     resume_from=resume_from,
                     rng=rng,
+                    cache=cache,
                 )
             except (SearchBudgetExceeded, WorkerLost) as exc:
                 trigger = type(exc).__name__
@@ -269,6 +292,7 @@ def _run_rung(
     checkpoint_path,
     resume_from,
     rng: random.Random | None,
+    cache=None,
 ) -> DegradedResult:
     """Produce + verify one rung's ring, or raise its failure."""
     target = instance.target_token
@@ -283,6 +307,7 @@ def _run_rung(
             supervision=supervision,
             checkpoint_path=checkpoint_path,
             resume_from=resume_from,
+            cache=cache,
         )
         result = SelectionResult(
             tokens=solved.ring.tokens,

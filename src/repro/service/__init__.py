@@ -1,0 +1,58 @@
+"""The selection service layer: a batched, cache-warm daemon.
+
+PRs 1–4 made one selection fast, observable and fault-tolerant; this
+package makes *many concurrent* selections cheap by running them
+through a long-lived daemon instead of one-shot CLI invocations:
+
+* :mod:`repro.service.protocol` — the JSONL wire types (requests,
+  responses, typed rejection/error codes);
+* :mod:`repro.service.state` — chain snapshot epochs and the per-epoch
+  warm :class:`~repro.core.perf.cache.SolverCache` /
+  :class:`~repro.core.modules.ModuleUniverse`;
+* :mod:`repro.service.batching` — bounded admission and epoch-aware
+  micro-batching;
+* :mod:`repro.service.daemon` — :class:`SelectionService`, the worker
+  loop tying it together;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — stdio
+  and unix-socket front-ends plus the matching client.
+
+The service changes *when* work happens, never *what* is selected:
+``tests/test_service_equivalence.py`` pins every answer byte-identical
+to a direct :func:`repro.core.bfs.bfs_select` /
+:func:`repro.resilience.ladder.ladder_select` call at the same seed,
+and ``benchmarks/test_bench_service.py`` records the batched-warm vs
+sequential-cold throughput in ``benchmarks/results/BENCH_service.json``.
+"""
+
+from .batching import AdmissionQueue, Batch
+from .client import ServiceClient
+from .daemon import PendingResult, SelectionService, ServiceConfig
+from .protocol import (
+    KNOWN_MODES,
+    KNOWN_OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SelectRequest,
+    SelectResponse,
+)
+from .server import serve_socket, serve_stdio
+from .state import ChainSnapshot, ServiceState
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "KNOWN_OPS",
+    "KNOWN_MODES",
+    "ProtocolError",
+    "SelectRequest",
+    "SelectResponse",
+    "AdmissionQueue",
+    "Batch",
+    "ChainSnapshot",
+    "ServiceState",
+    "ServiceConfig",
+    "PendingResult",
+    "SelectionService",
+    "ServiceClient",
+    "serve_stdio",
+    "serve_socket",
+]

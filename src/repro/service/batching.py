@@ -1,0 +1,149 @@
+"""Admission control and micro-batching for the selection daemon.
+
+Two policies live here, both deliberately boring and fully observable:
+
+* **Admission** — a bounded queue.  :meth:`AdmissionQueue.offer` either
+  admits the item or returns ``False`` immediately (typed backpressure:
+  the caller answers ``queue_full`` and the client retries later).  The
+  service never blocks a producer and never buffers unboundedly.
+
+* **Micro-batching** — the worker drains the queue into batches of
+  requests that can share one chain snapshot.  The first waiting
+  request opens the batch; the batcher then lingers up to
+  ``linger_s`` for followers and greedily takes compatible requests up
+  to ``max_batch``.  Compatible means *pinned to the same epoch* (or
+  not pinned at all): requests pinned to different epochs never share
+  a batch, because a batch is executed against exactly one snapshot.
+
+Batching never reorders incompatible work arbitrarily: requests leave
+the queue FIFO, and an incompatible head-of-line request simply opens
+the next batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+__all__ = ["AdmissionQueue", "Batch", "EPOCH_ANY"]
+
+T = TypeVar("T")
+
+#: Group key for requests not pinned to any epoch.
+EPOCH_ANY = -1
+
+
+@dataclass(slots=True)
+class Batch(Generic[T]):
+    """One drained micro-batch.
+
+    Attributes:
+        batch_id: monotonically increasing drain counter.
+        epoch_key: the epoch its members are pinned to, or
+            :data:`EPOCH_ANY` when every member floats.
+        items: the admitted requests, in admission order.
+    """
+
+    batch_id: int
+    epoch_key: int
+    items: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class AdmissionQueue(Generic[T]):
+    """Bounded FIFO with epoch-aware batch draining.
+
+    Args:
+        max_depth: admission bound; :meth:`offer` refuses beyond it.
+        max_batch: largest batch :meth:`drain_batch` will assemble.
+        linger_s: how long a drain waits for followers once the batch
+            is open (0 drains whatever is already queued).
+    """
+
+    def __init__(
+        self, max_depth: int = 256, max_batch: int = 32, linger_s: float = 0.0
+    ) -> None:
+        if max_depth < 1 or max_batch < 1:
+            raise ValueError("max_depth and max_batch must be >= 1")
+        self.max_depth = max_depth
+        self.max_batch = max_batch
+        self.linger_s = linger_s
+        self._items: list[tuple[T, int]] = []
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._closed = False
+        self._next_batch_id = 0
+        self.offered = 0
+        self.refused = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def offer(self, item: T, epoch_key: int = EPOCH_ANY) -> bool:
+        """Admit ``item`` or refuse immediately (never blocks).
+
+        Returns ``False`` when the queue is at ``max_depth`` or closed.
+        """
+        with self._nonempty:
+            self.offered += 1
+            if self._closed or len(self._items) >= self.max_depth:
+                self.refused += 1
+                return False
+            self._items.append((item, epoch_key))
+            self._nonempty.notify()
+            return True
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def close(self) -> None:
+        """Refuse new work; drains still return what is queued."""
+        with self._nonempty:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- consumer side -------------------------------------------------------
+
+    def drain_batch(self, timeout: float | None = None) -> Batch[T] | None:
+        """Assemble the next micro-batch, or ``None`` on timeout/close.
+
+        Blocks up to ``timeout`` for a head-of-line request, then
+        lingers ``linger_s`` for followers and greedily takes queued
+        requests whose epoch pin is compatible with the batch
+        (equal pins, or no pin) up to ``max_batch``.
+        """
+        with self._nonempty:
+            if not self._items and not self._closed:
+                self._nonempty.wait(timeout)
+            if not self._items:
+                return None
+            head, head_key = self._items.pop(0)
+            batch = Batch(
+                batch_id=self._next_batch_id, epoch_key=head_key, items=[head]
+            )
+            self._next_batch_id += 1
+            if self.linger_s > 0 and len(self._items) == 0 and not self._closed:
+                self._nonempty.wait(self.linger_s)
+            index = 0
+            while len(batch.items) < self.max_batch and index < len(self._items):
+                _, key = self._items[index]
+                if key == batch.epoch_key or key == EPOCH_ANY:
+                    item, _ = self._items.pop(index)
+                    batch.items.append(item)
+                elif batch.epoch_key == EPOCH_ANY:
+                    # A floating batch adopts the first pinned follower's
+                    # epoch; after that only matching pins may join.
+                    item, _ = self._items.pop(index)
+                    batch.epoch_key = key
+                    batch.items.append(item)
+                else:
+                    index += 1
+            return batch

@@ -1,0 +1,126 @@
+"""A small JSONL client for the selection daemon's socket front-end.
+
+Speaks strict request/response lockstep: every call writes one line
+and reads one line back, so no correlation machinery is needed beyond
+the echoed ``id``.  The CLI ``client`` subcommand is a thin wrapper
+around this class; tests and user scripts can use it directly::
+
+    with ServiceClient("/tmp/repro.sock") as client:
+        response = client.select(target="t03", c=2.0, ell=2)
+        if response.ok:
+            print(sorted(response.tokens))
+        client.commit(response.tokens, c=2.0, ell=2)
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import Mapping, Sequence
+
+from .protocol import SelectRequest, SelectResponse, decode, encode
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a :func:`~repro.service.server.serve_socket` daemon.
+
+    Args:
+        path: the unix-socket path the daemon listens on.
+        timeout: per-response socket timeout in seconds.
+    """
+
+    def __init__(self, path: str | os.PathLike, timeout: float = 60.0) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(os.fspath(path))
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, payload: Mapping) -> dict:
+        """Send one raw op object; returns the decoded response object."""
+        self._sock.sendall((encode(payload) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return decode(line)
+
+    def _autoid(self, prefix: str) -> str:
+        self._next_id += 1
+        return f"{prefix}{self._next_id}"
+
+    # -- ops -----------------------------------------------------------------
+
+    def select(
+        self,
+        target: str,
+        c: float,
+        ell: int,
+        mode: str = "ladder",
+        epoch: int | None = None,
+        time_budget: float | None = None,
+        max_mixins: int | None = None,
+        seed: int = 0,
+        request_id: str | None = None,
+        fault_plan: Mapping | None = None,
+    ) -> SelectResponse:
+        """Run one selection; returns the typed response."""
+        request = SelectRequest(
+            request_id=request_id or self._autoid("c"),
+            target=target,
+            c=c,
+            ell=ell,
+            mode=mode,
+            epoch=epoch,
+            time_budget=time_budget,
+            max_mixins=max_mixins,
+            seed=seed,
+            fault_plan=fault_plan,
+        )
+        return SelectResponse.from_dict(self.request(request.to_dict()))
+
+    def commit(
+        self,
+        tokens: Sequence[str],
+        c: float,
+        ell: int,
+        rid: str | None = None,
+    ) -> dict:
+        """Append an accepted ring to the chain; advances the epoch."""
+        payload: dict = {
+            "op": "commit",
+            "id": self._autoid("c"),
+            "tokens": sorted(tokens),
+            "c": c,
+            "ell": ell,
+        }
+        if rid is not None:
+            payload["rid"] = rid
+        return self.request(payload)
+
+    def epoch(self) -> dict:
+        """Current epoch / ring count / queue depth."""
+        return self.request({"op": "epoch", "id": self._autoid("c")})
+
+    def stats(self) -> dict:
+        """The service's counter snapshot."""
+        return self.request({"op": "stats", "id": self._autoid("c")})
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and stop."""
+        return self.request({"op": "shutdown", "id": self._autoid("c")})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

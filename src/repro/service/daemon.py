@@ -1,0 +1,526 @@
+"""The long-running selection daemon.
+
+:class:`SelectionService` accepts many concurrent ``select`` requests,
+micro-batches the ones that share a chain snapshot
+(:mod:`repro.service.batching`), and serves every batch from that
+snapshot's warm :class:`~repro.core.perf.cache.SolverCache` /
+:class:`~repro.core.modules.ModuleUniverse`
+(:mod:`repro.service.state`) instead of re-deriving them per call.
+
+Determinism contract — the reason the service can exist at all:
+
+* requests inside a batch execute **sequentially, in admission
+  order**, each against the batch's single snapshot;
+* the shared cache holds only derived data (component closures, base
+  world enumerations), so a warm hit returns exactly what a cold
+  rebuild would — ``tests/test_service_equivalence.py`` pins
+  selections byte-identical to direct :func:`~repro.core.bfs.bfs_select`
+  calls at equal seeds;
+* selections are pure functions of (snapshot, solve parameters), so
+  identical requests within one epoch are deduplicated through the
+  snapshot's result memo — the hot-target pattern that makes a batched
+  daemon worth running (``benchmarks/test_bench_service.py`` measures
+  it); chaos requests bypass the memo so injected faults always hit
+  the real solve path;
+* resilience is scoped per request: each request runs its own
+  degradation ladder, and a request-supplied fault plan is
+  instantiated fresh around that request only — a budget trip, an
+  infeasibility or an injected fault produces a typed error *response*
+  for that request and leaves its batch-mates untouched.
+
+Example::
+
+    >>> from repro.core.ring import TokenUniverse
+    >>> from repro.service import SelectRequest, SelectionService
+    >>> universe = TokenUniverse({"t1": "h1", "t2": "h2", "t3": "h1",
+    ...                           "t4": "h3"})
+    >>> with SelectionService(universe) as service:
+    ...     response = service.submit_wait(
+    ...         SelectRequest(request_id="r1", target="t3", c=2.0, ell=2))
+    >>> sorted(response.tokens)
+    ['t2', 't3']
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from ..core.bfs import SearchBudgetExceeded, bfs_select
+from ..core.perf.parallel import WorkerLost
+from ..core.problem import InfeasibleError
+from ..core.ring import Ring, TokenUniverse
+from ..obs import events, metrics, trace
+from ..resilience import faults
+from ..resilience.ladder import ConstraintViolation, ladder_select
+from .batching import EPOCH_ANY, AdmissionQueue, Batch
+from .protocol import (
+    ERROR_BUDGET_EXCEEDED,
+    ERROR_CONSTRAINT_VIOLATION,
+    ERROR_FAULT_INJECTED,
+    ERROR_INFEASIBLE,
+    ERROR_INTERNAL,
+    REJECT_QUEUE_FULL,
+    REJECT_STALE_EPOCH,
+    SelectRequest,
+    SelectResponse,
+)
+from .state import ChainSnapshot, ServiceState
+
+__all__ = ["ServiceConfig", "PendingResult", "SelectionService"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Tunables of one :class:`SelectionService`.
+
+    Attributes:
+        max_queue: admission bound — requests beyond it are rejected
+            with ``queue_full`` instead of buffered.
+        max_batch: largest micro-batch drained at once.
+        linger_s: how long a drain lingers for batch-mates once a
+            request is waiting (0 = batch whatever is already queued).
+        default_budget: per-request exact-search budget when the
+            request does not name one (``None`` = unbounded).
+        workers: process fan-out for each request's candidate scan
+            (forwarded to :func:`~repro.core.bfs.bfs_select`).
+        fault_plan: a fault-plan document applied to *every* request
+            (a fresh :class:`~repro.resilience.faults.FaultPlan`
+            instance per request); request-level plans override it.
+    """
+
+    max_queue: int = 256
+    max_batch: int = 32
+    linger_s: float = 0.0
+    default_budget: float | None = None
+    workers: int = 0
+    fault_plan: Mapping | None = None
+
+
+@dataclass(slots=True)
+class PendingResult:
+    """A slot the worker fills; ``wait`` blocks the submitting thread."""
+
+    request: SelectRequest
+    _done: threading.Event = field(default_factory=threading.Event)
+    _response: SelectResponse | None = None
+
+    def resolve(self, response: SelectResponse) -> None:
+        self._response = response
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> SelectResponse:
+        """The response, blocking until the worker produced it.
+
+        Raises:
+            TimeoutError: nothing arrived within ``timeout`` seconds.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id!r} not served in time"
+            )
+        assert self._response is not None
+        return self._response
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class SelectionService:
+    """Batched, cache-warm mixin selection over a growing chain.
+
+    Args:
+        universe: the mixin universe T of the initial snapshot.
+        rings: the initial ring history.
+        config: see :class:`ServiceConfig`.
+
+    Use as a context manager (starts/stops the worker thread), or call
+    :meth:`start` / :meth:`stop` explicitly.  :meth:`submit` never
+    blocks; :meth:`submit_wait` is the convenience wrapper.
+    """
+
+    def __init__(
+        self,
+        universe: TokenUniverse,
+        rings: Sequence[Ring] = (),
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.state = ServiceState(universe, rings)
+        self.queue: AdmissionQueue[PendingResult] = AdmissionQueue(
+            max_depth=self.config.max_queue,
+            max_batch=self.config.max_batch,
+            linger_s=self.config.linger_s,
+        )
+        self._thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._counters_lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SelectionService":
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._stopping.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-selection-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; with ``drain`` (default) serve what is queued."""
+        self.queue.close()
+        if not drain:
+            self._stopping.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "SelectionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- chain growth --------------------------------------------------------
+
+    def commit_ring(
+        self, tokens: Sequence[str], c: float, ell: int, rid: str | None = None
+    ) -> ChainSnapshot:
+        """Append an accepted ring; advances the epoch (cache invalidation)."""
+        seq = self.state.next_seq()
+        ring = Ring(
+            rid=rid or f"svc:{seq}",
+            tokens=frozenset(tokens),
+            c=c,
+            ell=ell,
+            seq=seq,
+        )
+        return self.state.commit(ring)
+
+    @property
+    def epoch(self) -> int:
+        return self.state.epoch
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request: SelectRequest) -> PendingResult:
+        """Admit ``request`` (non-blocking).
+
+        A full queue resolves the returned slot *immediately* with a
+        ``queue_full`` rejection — typed backpressure, not an
+        exception, so socket front-ends answer it like any response.
+        """
+        pending = PendingResult(request=request)
+        epoch_key = EPOCH_ANY if request.epoch is None else request.epoch
+        if self.queue.offer(pending, epoch_key):
+            if events.enabled():
+                events.emit(events.RequestAdmitted(queue_depth=self.queue.depth()))
+        else:
+            self._bump(f"rejected.{REJECT_QUEUE_FULL}")
+            if events.enabled():
+                events.emit(events.RequestRejected(code=REJECT_QUEUE_FULL))
+            pending.resolve(
+                SelectResponse(
+                    request_id=request.request_id,
+                    status="rejected",
+                    epoch=self.state.epoch,
+                    code=REJECT_QUEUE_FULL,
+                    detail=(
+                        f"admission queue at capacity "
+                        f"({self.queue.max_depth}); retry later"
+                    ),
+                )
+            )
+        return pending
+
+    def submit_wait(
+        self, request: SelectRequest, timeout: float | None = None
+    ) -> SelectResponse:
+        """Submit and block for the response (for tests and examples)."""
+        return self.submit(request).wait(timeout)
+
+    def stats(self) -> dict:
+        """A JSON-ready counter snapshot (the ``stats`` op's payload)."""
+        with self._counters_lock:
+            counters = dict(sorted(self.counters.items()))
+        return {
+            "epoch": self.state.epoch,
+            "rings": len(self.state.current().rings),
+            "queue_depth": self.queue.depth(),
+            "offered": self.queue.offered,
+            "refused": self.queue.refused,
+            "epochs_advanced": self.state.epochs_advanced,
+            "caches_invalidated": self.state.caches_invalidated,
+            "counters": counters,
+        }
+
+    # -- the worker loop -----------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stopping.is_set():
+            batch = self.queue.drain_batch(timeout=0.05)
+            if batch is None:
+                if self.queue.closed and self.queue.depth() == 0:
+                    return
+                continue
+            self._execute_batch(batch)
+
+    def _execute_batch(self, batch: Batch[PendingResult]) -> None:
+        snapshot = self.state.current()
+        warm = snapshot.cache_built
+        with trace.span(
+            "service.batch",
+            batch_id=batch.batch_id,
+            size=len(batch),
+            epoch=snapshot.epoch,
+        ):
+            if events.enabled():
+                events.emit(
+                    events.BatchExecuted(size=len(batch), epoch=snapshot.epoch)
+                )
+            rec = metrics.active()
+            if rec is not None:
+                rec.observe("service.batch_size", len(batch))
+                rec.gauge("service.queue_depth", self.queue.depth())
+            self._bump("batches")
+            for pending in batch.items:
+                pending.resolve(
+                    self._serve_one(pending.request, snapshot, batch, warm)
+                )
+                warm = True  # the first request of a cold epoch warms it
+
+    def _serve_one(
+        self,
+        request: SelectRequest,
+        snapshot: ChainSnapshot,
+        batch: Batch[PendingResult],
+        warm: bool,
+    ) -> SelectResponse:
+        if request.epoch is not None and request.epoch != snapshot.epoch:
+            self._bump(f"rejected.{REJECT_STALE_EPOCH}")
+            if events.enabled():
+                events.emit(events.RequestRejected(code=REJECT_STALE_EPOCH))
+            return SelectResponse(
+                request_id=request.request_id,
+                status="rejected",
+                epoch=snapshot.epoch,
+                batch_id=batch.batch_id,
+                batch_size=len(batch),
+                code=REJECT_STALE_EPOCH,
+                detail=(
+                    f"request pinned to epoch {request.epoch} but the chain "
+                    f"is at epoch {snapshot.epoch}; re-resolve and resubmit"
+                ),
+            )
+        started = time.perf_counter()
+        plan_doc = (
+            request.fault_plan
+            if request.fault_plan is not None
+            else self.config.fault_plan
+        )
+        with trace.span(
+            "service.request",
+            request_id=request.request_id,
+            target=request.target,
+            mode=request.mode,
+            epoch=snapshot.epoch,
+            batch_id=batch.batch_id,
+        ):
+            try:
+                # A fresh per-request plan: hit counters start at zero for
+                # every request, so chaos stays scoped to its request.
+                # Chaos requests also bypass the result memo — an
+                # injected fault must hit the real solve path, and a
+                # memoized answer must never mask one.
+                if plan_doc is not None:
+                    with faults.injecting(faults.FaultPlan.from_dict(plan_doc)):
+                        response = self._solve(
+                            request, snapshot, batch, warm, memo_ok=False
+                        )
+                else:
+                    response = self._solve(
+                        request, snapshot, batch, warm, memo_ok=True
+                    )
+            except SearchBudgetExceeded as exc:
+                response = self._error(
+                    request, snapshot, batch, ERROR_BUDGET_EXCEEDED, exc
+                )
+            except (InfeasibleError, WorkerLost) as exc:
+                code = (
+                    ERROR_INFEASIBLE
+                    if isinstance(exc, InfeasibleError)
+                    else ERROR_INTERNAL
+                )
+                response = self._error(request, snapshot, batch, code, exc)
+            except ConstraintViolation as exc:
+                response = self._error(
+                    request, snapshot, batch, ERROR_CONSTRAINT_VIOLATION, exc
+                )
+            except faults.InjectedFault as exc:
+                response = self._error(
+                    request, snapshot, batch, ERROR_FAULT_INJECTED, exc
+                )
+            except Exception as exc:  # noqa: BLE001 - batch-mate isolation
+                response = self._error(
+                    request, snapshot, batch, ERROR_INTERNAL, exc
+                )
+        elapsed = time.perf_counter() - started
+        rec = metrics.active()
+        if rec is not None:
+            rec.observe("service.request_s", elapsed)
+        self._bump("requests")
+        self._bump(f"status.{response.status}")
+        if response.degraded:
+            self._bump("degraded")
+        return response
+
+    def _memo_key(self, request: SelectRequest, budget: float | None):
+        """The solve-relevant request fields, per mode.
+
+        The exact rung is deterministic regardless of seed, so exact
+        requests memoize across seeds; ladder requests include the seed
+        because the degraded rungs draw from it.
+        """
+        key = (
+            request.mode,
+            request.target,
+            request.c,
+            request.ell,
+            budget,
+            request.max_mixins,
+        )
+        if request.mode == "ladder":
+            key += (request.seed,)
+        return key
+
+    def _solve(
+        self,
+        request: SelectRequest,
+        snapshot: ChainSnapshot,
+        batch: Batch[PendingResult],
+        warm: bool,
+        memo_ok: bool = True,
+    ) -> SelectResponse:
+        instance = snapshot.instance(request.target, request.c, request.ell)
+        budget = (
+            request.time_budget
+            if request.time_budget is not None
+            else self.config.default_budget
+        )
+        memo = snapshot.result_memo() if memo_ok else None
+        memo_key = self._memo_key(request, budget) if memo_ok else None
+        if memo is not None:
+            stored = memo.get(memo_key)
+            if stored is not None:
+                # Identical request against the same snapshot: replay
+                # the first solve's answer (pure function of both), with
+                # this request's own identity and batch coordinates.
+                self._bump("memo.hits")
+                if events.enabled():
+                    events.emit(events.MemoServed(mode=request.mode))
+                return replace(
+                    stored,
+                    request_id=request.request_id,
+                    batch_id=batch.batch_id,
+                    batch_size=len(batch),
+                    warm_cache=warm,
+                    attrs={**stored.attrs, "memo": True},
+                )
+        response = self._solve_fresh(
+            request, instance, snapshot, batch, warm, budget
+        )
+        if memo is not None and response.ok:
+            memo[memo_key] = response
+            self._bump("memo.stores")
+        return response
+
+    def _solve_fresh(
+        self,
+        request: SelectRequest,
+        instance,
+        snapshot: ChainSnapshot,
+        batch: Batch[PendingResult],
+        warm: bool,
+        budget: float | None,
+    ) -> SelectResponse:
+        cache = snapshot.solver_cache()
+        if request.mode == "exact":
+            solved = bfs_select(
+                instance,
+                time_budget=budget,
+                max_mixins=request.max_mixins,
+                workers=self.config.workers,
+                cache=cache,
+            )
+            return SelectResponse(
+                request_id=request.request_id,
+                status="ok",
+                epoch=snapshot.epoch,
+                tokens=tuple(solved.ring.tokens),
+                mixins=tuple(solved.mixins),
+                rung="exact",
+                claimed_c=request.c,
+                claimed_ell=request.ell,
+                degraded=False,
+                candidates_checked=solved.candidates_checked,
+                elapsed=solved.elapsed,
+                batch_id=batch.batch_id,
+                batch_size=len(batch),
+                warm_cache=warm,
+            )
+        outcome = ladder_select(
+            instance,
+            modules=snapshot.module_universe(),
+            time_budget=budget,
+            max_mixins=request.max_mixins,
+            workers=self.config.workers,
+            rng=random.Random(request.seed),
+            cache=cache,
+        )
+        tokens = outcome.result.tokens
+        return SelectResponse(
+            request_id=request.request_id,
+            status="ok",
+            epoch=snapshot.epoch,
+            tokens=tuple(tokens),
+            mixins=tuple(set(tokens) - {request.target}),
+            rung=outcome.rung,
+            claimed_c=outcome.claimed_c,
+            claimed_ell=outcome.claimed_ell,
+            degraded=outcome.degraded,
+            candidates_checked=None,
+            elapsed=outcome.result.elapsed,
+            batch_id=batch.batch_id,
+            batch_size=len(batch),
+            warm_cache=warm,
+        )
+
+    def _error(
+        self,
+        request: SelectRequest,
+        snapshot: ChainSnapshot,
+        batch: Batch[PendingResult],
+        code: str,
+        exc: Exception,
+    ) -> SelectResponse:
+        self._bump(f"error.{code}")
+        return SelectResponse(
+            request_id=request.request_id,
+            status="error",
+            epoch=snapshot.epoch,
+            batch_id=batch.batch_id,
+            batch_size=len(batch),
+            code=code,
+            detail=str(exc),
+        )
+
+    def _bump(self, name: str, value: int = 1) -> None:
+        with self._counters_lock:
+            self.counters[name] = self.counters.get(name, 0) + value

@@ -1,0 +1,285 @@
+"""The service wire protocol: typed requests/responses over JSONL.
+
+One JSON object per line in both directions.  Every request line names
+an ``op``; the service answers each line with exactly one response
+line, in request order per connection, so a client can correlate by
+position or by the echoed ``id``.
+
+Ops (the closed vocabulary of :data:`KNOWN_OPS`):
+
+============  ==============================================================
+``select``    run one mixin selection (the payload of
+              :class:`SelectRequest`)
+``commit``    append an accepted ring to the chain snapshot — advances the
+              epoch and invalidates warm caches
+``epoch``     report the current epoch / ring count / queue depth
+``stats``     dump the service counters
+``shutdown``  drain and stop the service loop
+============  ==============================================================
+
+Responses carry ``status``: ``"ok"``, ``"rejected"`` (typed admission
+refusal — the request never ran) or ``"error"`` (the request ran and
+failed; ``code`` mirrors the CLI sysexits vocabulary, e.g.
+``"budget_exceeded"`` for exit 75, ``"constraint_violation"`` for
+exit 65).
+
+Example::
+
+    >>> req = SelectRequest(request_id="r1", target="t3", c=2.0, ell=2)
+    >>> line = encode(req.to_dict())
+    >>> decode(line)["target"]
+    't3'
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "KNOWN_OPS",
+    "KNOWN_MODES",
+    "REJECT_QUEUE_FULL",
+    "REJECT_STALE_EPOCH",
+    "REJECT_BAD_REQUEST",
+    "ERROR_BUDGET_EXCEEDED",
+    "ERROR_INFEASIBLE",
+    "ERROR_CONSTRAINT_VIOLATION",
+    "ERROR_FAULT_INJECTED",
+    "ERROR_INTERNAL",
+    "ProtocolError",
+    "SelectRequest",
+    "SelectResponse",
+    "encode",
+    "decode",
+]
+
+PROTOCOL_VERSION = 1
+
+KNOWN_OPS = ("select", "commit", "epoch", "stats", "shutdown")
+
+#: ``exact`` runs only :func:`repro.core.bfs.bfs_select` (a budget trip
+#: is a typed error); ``ladder`` degrades through
+#: :func:`repro.resilience.ladder.ladder_select`.
+KNOWN_MODES = ("exact", "ladder")
+
+# -- rejection codes (admission control: the request never executed) --------
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_STALE_EPOCH = "stale_epoch"
+REJECT_BAD_REQUEST = "bad_request"
+
+# -- error codes (the request executed and failed) --------------------------
+ERROR_BUDGET_EXCEEDED = "budget_exceeded"        # CLI exit 75 (EX_TEMPFAIL)
+ERROR_INFEASIBLE = "infeasible"
+ERROR_CONSTRAINT_VIOLATION = "constraint_violation"  # CLI exit 65 (EX_DATAERR)
+ERROR_FAULT_INJECTED = "fault_injected"
+ERROR_INTERNAL = "internal_error"
+
+
+class ProtocolError(ValueError):
+    """A line that cannot be parsed into a valid request."""
+
+
+@dataclass(frozen=True, slots=True)
+class SelectRequest:
+    """One mixin-selection request.
+
+    Attributes:
+        request_id: client-chosen correlation id, echoed verbatim.
+        target: the token t_tau to consume.
+        c: required diversity parameter c_tau.
+        ell: required diversity parameter l_tau.
+        mode: ``"exact"`` or ``"ladder"`` (see :data:`KNOWN_MODES`).
+        epoch: pin the request to this snapshot epoch; the service
+            rejects it (``stale_epoch``) if the chain has advanced by
+            execution time.  ``None`` means "whatever is current".
+        time_budget: per-request wall-clock cap for the exact search.
+        max_mixins: cap on the mixin-set size to search.
+        seed: seeds the degraded rungs' RNG so ladder requests are
+            reproducible (the exact rung is deterministic regardless).
+        fault_plan: an optional :class:`~repro.resilience.faults.FaultPlan`
+            document applied around *this request only* — a fresh plan
+            instance per request, so one chaos request cannot poison
+            its batch-mates.
+    """
+
+    request_id: str
+    target: str
+    c: float
+    ell: int
+    mode: str = "ladder"
+    epoch: int | None = None
+    time_budget: float | None = None
+    max_mixins: int | None = None
+    seed: int = 0
+    fault_plan: Mapping | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in KNOWN_MODES:
+            raise ProtocolError(
+                f"unknown mode {self.mode!r}; known: {', '.join(KNOWN_MODES)}"
+            )
+        if not self.request_id:
+            raise ProtocolError("request_id must be non-empty")
+
+    def to_dict(self) -> dict:
+        payload: dict[str, Any] = {
+            "op": "select",
+            "id": self.request_id,
+            "target": self.target,
+            "c": self.c,
+            "ell": self.ell,
+            "mode": self.mode,
+        }
+        if self.epoch is not None:
+            payload["epoch"] = self.epoch
+        if self.time_budget is not None:
+            payload["budget"] = self.time_budget
+        if self.max_mixins is not None:
+            payload["max_mixins"] = self.max_mixins
+        if self.seed:
+            payload["seed"] = self.seed
+        if self.fault_plan is not None:
+            payload["fault_plan"] = dict(self.fault_plan)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SelectRequest":
+        try:
+            return cls(
+                request_id=str(payload["id"]),
+                target=str(payload["target"]),
+                c=float(payload["c"]),
+                ell=int(payload["ell"]),
+                mode=str(payload.get("mode", "ladder")),
+                epoch=(
+                    None if payload.get("epoch") is None
+                    else int(payload["epoch"])
+                ),
+                time_budget=(
+                    None if payload.get("budget") is None
+                    else float(payload["budget"])
+                ),
+                max_mixins=(
+                    None if payload.get("max_mixins") is None
+                    else int(payload["max_mixins"])
+                ),
+                seed=int(payload.get("seed", 0)),
+                fault_plan=payload.get("fault_plan"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ProtocolError):
+                raise
+            raise ProtocolError(f"malformed select request: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class SelectResponse:
+    """The service's answer to one :class:`SelectRequest`.
+
+    ``status`` is ``"ok"`` / ``"rejected"`` / ``"error"``.  On ``ok``
+    the selection fields are set; otherwise ``code`` and ``detail``
+    explain the refusal or failure.  ``epoch``, ``batch_id`` and
+    ``batch_size`` locate the execution (rejected requests keep the
+    epoch that refused them and batch_id -1).
+    """
+
+    request_id: str
+    status: str
+    epoch: int
+    tokens: tuple[str, ...] = ()
+    mixins: tuple[str, ...] = ()
+    rung: str | None = None
+    claimed_c: float | None = None
+    claimed_ell: int | None = None
+    degraded: bool = False
+    candidates_checked: int | None = None
+    elapsed: float = 0.0
+    batch_id: int = -1
+    batch_size: int = 0
+    code: str | None = None
+    detail: str | None = None
+    warm_cache: bool = False
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        payload: dict[str, Any] = {
+            "id": self.request_id,
+            "status": self.status,
+            "epoch": self.epoch,
+            "batch_id": self.batch_id,
+            "batch_size": self.batch_size,
+        }
+        if self.status == "ok":
+            payload.update(
+                tokens=sorted(self.tokens),
+                mixins=sorted(self.mixins),
+                rung=self.rung,
+                claimed_c=self.claimed_c,
+                claimed_ell=self.claimed_ell,
+                degraded=self.degraded,
+                elapsed=round(self.elapsed, 6),
+                warm_cache=self.warm_cache,
+            )
+            if self.candidates_checked is not None:
+                payload["candidates_checked"] = self.candidates_checked
+        else:
+            payload["code"] = self.code
+            if self.detail:
+                payload["detail"] = self.detail
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SelectResponse":
+        return cls(
+            request_id=str(payload.get("id", "")),
+            status=str(payload.get("status", "error")),
+            epoch=int(payload.get("epoch", -1)),
+            tokens=tuple(payload.get("tokens", ())),
+            mixins=tuple(payload.get("mixins", ())),
+            rung=payload.get("rung"),
+            claimed_c=payload.get("claimed_c"),
+            claimed_ell=payload.get("claimed_ell"),
+            degraded=bool(payload.get("degraded", False)),
+            candidates_checked=payload.get("candidates_checked"),
+            elapsed=float(payload.get("elapsed", 0.0)),
+            batch_id=int(payload.get("batch_id", -1)),
+            batch_size=int(payload.get("batch_size", 0)),
+            code=payload.get("code"),
+            detail=payload.get("detail"),
+            warm_cache=bool(payload.get("warm_cache", False)),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+def encode(payload: Mapping) -> str:
+    """One JSONL line (no trailing newline), keys sorted for stability.
+
+        >>> line = encode(SelectRequest(
+        ...     request_id="q1", target="t3", c=2.0, ell=2,
+        ...     mode="exact").to_dict())
+        >>> line
+        '{"c":2.0,"ell":2,"id":"q1","mode":"exact","op":"select","target":"t3"}'
+        >>> SelectRequest.from_dict(decode(line)).target
+        't3'
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def decode(line: str) -> dict:
+    """Parse one JSONL line into a dict, or raise :class:`ProtocolError`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(payload).__name__}")
+    return payload

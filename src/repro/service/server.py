@@ -1,0 +1,182 @@
+"""JSONL front-ends for the selection daemon: stdio and unix socket.
+
+Both front-ends speak the line protocol of
+:mod:`repro.service.protocol`: one request object per line in, exactly
+one response object per line out, in request order per connection.
+The stdio mode serves a single client (the stream ends the session);
+the socket mode accepts any number of sequential or concurrent
+connections, each handled on its own thread — the daemon's admission
+queue is the only shared mutable surface, and it is thread-safe.
+
+A malformed line never kills the session: it is answered with a
+``bad_request`` rejection and the loop continues, so one buggy client
+request cannot take the service down for everyone else.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import IO, Iterator
+
+from .daemon import SelectionService
+from .protocol import (
+    KNOWN_OPS,
+    REJECT_BAD_REQUEST,
+    ProtocolError,
+    SelectRequest,
+    decode,
+    encode,
+)
+
+__all__ = ["handle_line", "serve_stdio", "serve_socket"]
+
+
+def handle_line(service: SelectionService, line: str) -> tuple[str, bool]:
+    """Serve one request line; returns ``(response_line, keep_going)``.
+
+    ``keep_going`` is ``False`` only for a ``shutdown`` op.  All other
+    outcomes — including malformed input — keep the session alive.
+    """
+    try:
+        payload = decode(line)
+        op = payload.get("op", "select")
+        if op not in KNOWN_OPS:
+            raise ProtocolError(
+                f"unknown op {op!r}; known: {', '.join(KNOWN_OPS)}"
+            )
+        if op == "select":
+            request = SelectRequest.from_dict(payload)
+            response = service.submit(request).wait()
+            return encode(response.to_dict()), True
+        if op == "commit":
+            snapshot = service.commit_ring(
+                tokens=[str(token) for token in payload["tokens"]],
+                c=float(payload["c"]),
+                ell=int(payload["ell"]),
+                rid=payload.get("rid"),
+            )
+            return encode(
+                {
+                    "id": payload.get("id"),
+                    "status": "ok",
+                    "epoch": snapshot.epoch,
+                    "rings": len(snapshot.rings),
+                }
+            ), True
+        if op == "epoch":
+            head = service.state.current()
+            return encode(
+                {
+                    "id": payload.get("id"),
+                    "status": "ok",
+                    "epoch": head.epoch,
+                    "rings": len(head.rings),
+                    "queue_depth": service.queue.depth(),
+                }
+            ), True
+        if op == "stats":
+            return encode(
+                {"id": payload.get("id"), "status": "ok", **service.stats()}
+            ), True
+        # op == "shutdown"
+        return encode(
+            {"id": payload.get("id"), "status": "ok", "shutdown": True}
+        ), False
+    except (ProtocolError, KeyError, TypeError, ValueError) as exc:
+        return encode(
+            {
+                "id": None,
+                "status": "rejected",
+                "code": REJECT_BAD_REQUEST,
+                "detail": str(exc),
+            }
+        ), True
+
+
+def serve_stdio(
+    service: SelectionService, in_stream: IO[str], out_stream: IO[str]
+) -> int:
+    """Serve JSONL requests from ``in_stream`` until EOF or ``shutdown``.
+
+    Returns the number of lines served.  Responses are flushed per
+    line so a pipe-driving client can work request/response lockstep.
+    """
+    served = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        response_line, keep_going = handle_line(service, line)
+        out_stream.write(response_line + "\n")
+        out_stream.flush()
+        served += 1
+        if not keep_going:
+            break
+    return served
+
+
+def _connection_lines(sock: socket.socket) -> Iterator[str]:
+    """Yield newline-terminated lines from a connected socket."""
+    buffer = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        buffer += chunk
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            yield line.decode("utf-8")
+
+
+def serve_socket(
+    service: SelectionService,
+    path: str | os.PathLike,
+    ready: threading.Event | None = None,
+) -> int:
+    """Listen on a unix socket at ``path`` until a ``shutdown`` op.
+
+    Each accepted connection runs on its own thread.  ``ready`` (if
+    given) is set once the socket is bound — tests and the CLI use it
+    to avoid connect races.  Returns the number of connections served.
+    """
+    path = os.fspath(path)
+    if os.path.exists(path):
+        os.unlink(path)
+    stop = threading.Event()
+    connections = 0
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as listener:
+        listener.bind(path)
+        listener.listen()
+        listener.settimeout(0.1)
+        if ready is not None:
+            ready.set()
+
+        def handle(conn: socket.socket) -> None:
+            with conn:
+                for line in _connection_lines(conn):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    response_line, keep_going = handle_line(service, line)
+                    conn.sendall((response_line + "\n").encode("utf-8"))
+                    if not keep_going:
+                        stop.set()
+                        return
+
+        threads: list[threading.Thread] = []
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            connections += 1
+            thread = threading.Thread(target=handle, args=(conn,), daemon=True)
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=5.0)
+    if os.path.exists(path):
+        os.unlink(path)
+    return connections

@@ -1,0 +1,140 @@
+"""Chain snapshot epochs and the per-epoch warm solver state.
+
+The service amortizes work across requests that see the *same* chain:
+one :class:`~repro.core.perf.cache.SolverCache` (component closures +
+base world enumerations) and one
+:class:`~repro.core.modules.ModuleUniverse` (the practical-
+configuration decomposition the ladder's degraded rungs use) per
+snapshot, plus a result memo deduplicating identical requests (the
+hot-target pattern: many clients asking about the same popular
+denominations).  All three hold pure derived data — sharing them can
+change only *when* the work happens, never what any request selects.
+
+A snapshot is immutable.  When the chain grows (a ``commit`` op), the
+service builds a *new* snapshot with the epoch incremented; requests
+pinned to an older epoch are rejected with ``stale_epoch`` rather than
+silently answered against history they did not ask about.  The old
+snapshot's caches become garbage with it — invalidation is
+whole-snapshot replacement, which is trivially deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.modules import ModuleUniverse
+from ..core.perf.cache import SolverCache
+from ..core.problem import DamsInstance
+from ..core.ring import Ring, TokenUniverse
+from ..obs import events
+
+__all__ = ["ChainSnapshot", "ServiceState"]
+
+
+@dataclass(slots=True)
+class ChainSnapshot:
+    """One immutable view of the chain, plus its lazily built warm state.
+
+    Attributes:
+        epoch: monotonically increasing snapshot counter (0 at start).
+        universe: the mixin universe T of this snapshot.
+        rings: the ring history of this snapshot, in proposal order.
+    """
+
+    epoch: int
+    universe: TokenUniverse
+    rings: tuple[Ring, ...]
+    _cache: SolverCache | None = field(default=None, repr=False)
+    _modules: ModuleUniverse | None = field(default=None, repr=False)
+    _memo: dict = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def instance(self, target: str, c: float, ell: int) -> DamsInstance:
+        """A per-request DA-MS instance over this snapshot."""
+        return DamsInstance(self.universe, list(self.rings), target, c=c, ell=ell)
+
+    @property
+    def cache_built(self) -> bool:
+        return self._cache is not None
+
+    def solver_cache(self) -> SolverCache:
+        """The snapshot's shared :class:`SolverCache` (built on first use)."""
+        with self._lock:
+            if self._cache is None:
+                self._cache = SolverCache(self.universe, list(self.rings))
+            return self._cache
+
+    def module_universe(self) -> ModuleUniverse:
+        """The snapshot's shared practical-configuration decomposition."""
+        with self._lock:
+            if self._modules is None:
+                self._modules = ModuleUniverse(self.universe, list(self.rings))
+            return self._modules
+
+    def result_memo(self) -> dict:
+        """The snapshot's solved-request memo (hot-target deduplication).
+
+        Selections are pure functions of (snapshot, solve parameters),
+        so two identical requests against one snapshot must produce
+        identical answers — the daemon stores the first and replays it
+        for the rest.  The memo dies with the snapshot at the next
+        epoch, exactly like the solver cache; only the single worker
+        thread mutates it.
+        """
+        return self._memo
+
+
+class ServiceState:
+    """The mutable head: which snapshot is current.
+
+    Thread-safe; the front-ends (socket connections, the stdio loop)
+    call :meth:`commit` / :meth:`current` concurrently with the worker
+    thread reading :meth:`current` at batch-execution time.
+    """
+
+    def __init__(self, universe: TokenUniverse, rings: Sequence[Ring] = ()) -> None:
+        self._lock = threading.Lock()
+        self._head = ChainSnapshot(epoch=0, universe=universe, rings=tuple(rings))
+        self.epochs_advanced = 0
+        self.caches_invalidated = 0
+
+    def current(self) -> ChainSnapshot:
+        """The head snapshot (immutable — safe to use without the lock)."""
+        with self._lock:
+            return self._head
+
+    @property
+    def epoch(self) -> int:
+        return self.current().epoch
+
+    def commit(self, ring: Ring) -> ChainSnapshot:
+        """Append an accepted ring; returns the new head snapshot.
+
+        The new snapshot starts cold (its caches rebuild on first use);
+        the previous epoch's warm state is dropped with the snapshot —
+        that is the deterministic invalidation the epoch counter makes
+        observable.
+        """
+        with self._lock:
+            old = self._head
+            if any(existing.rid == ring.rid for existing in old.rings):
+                raise ValueError(f"duplicate ring id {ring.rid!r} in commit")
+            self._head = ChainSnapshot(
+                epoch=old.epoch + 1,
+                universe=old.universe,
+                rings=old.rings + (ring,),
+            )
+            self.epochs_advanced += 1
+            if old.cache_built:
+                self.caches_invalidated += 1
+            head = self._head
+        if events.enabled():
+            events.emit(events.EpochAdvanced(epoch=head.epoch, rings=len(head.rings)))
+        return head
+
+    def next_seq(self) -> int:
+        """The proposal sequence number a newly committed ring should use."""
+        head = self.current()
+        return 1 + max((ring.seq for ring in head.rings), default=-1)

@@ -56,6 +56,16 @@ class TokenMagicConfig:
             chain-reaction audits across this many processes (<= 1
             keeps everything serial; results are identical either way,
             see :mod:`repro.core.perf.parallel`).
+
+    Example — the defaults are the paper's efficiency-experiment
+    settings; the second configuration bumps the *targeted* l by one
+    so the emitted ring's DTRSs keep the claimed (c, l):
+
+        >>> config = TokenMagicConfig()
+        >>> (config.batch_lambda, config.eta, config.apply_second_config)
+        (100, 0.0, True)
+        >>> TokenMagicConfig(eta=0.2, candidate_mode=True).eta
+        0.2
     """
 
     batch_lambda: int = 100

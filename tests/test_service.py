@@ -1,0 +1,406 @@
+"""Service-layer edge cases: admission, epochs, batch-mate isolation.
+
+The scenarios the ISSUE names explicitly:
+
+* a full admission queue rejects with a typed ``queue_full`` response
+  instead of blocking or buffering unboundedly;
+* a snapshot-epoch advance between admission and execution rejects
+  *only* the requests pinned to the dead epoch — floating batch-mates
+  are served against the new snapshot;
+* one request degrading through the ladder (or blowing up on an
+  injected fault) never poisons the other members of its batch.
+
+The batching determinism trick used throughout: submit against a
+*stopped* service, so the queue state is exactly known, then
+``start()`` and wait — the worker drains everything in one batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bfs import bfs_select
+from repro.core.problem import DamsInstance
+from repro.core.ring import Ring, TokenUniverse
+from repro.service import (
+    AdmissionQueue,
+    ProtocolError,
+    SelectionService,
+    SelectRequest,
+    SelectResponse,
+    ServiceConfig,
+    ServiceState,
+)
+from repro.service.batching import EPOCH_ANY
+from repro.service.protocol import decode, encode
+from repro.service.server import handle_line
+
+
+def small_universe() -> TokenUniverse:
+    return TokenUniverse(
+        {
+            "t1": "h1", "t2": "h2", "t3": "h1", "t4": "h3",
+            "t5": "h2", "t6": "h4", "t7": "h3", "t8": "h4",
+        }
+    )
+
+
+def history() -> list[Ring]:
+    return [
+        Ring("r1", frozenset({"t1", "t2"}), c=2.0, ell=2, seq=0),
+        Ring("r2", frozenset({"t1", "t2"}), c=2.0, ell=2, seq=1),
+    ]
+
+
+def request(rid: str, target: str = "t3", **kwargs) -> SelectRequest:
+    kwargs.setdefault("mode", "exact")
+    return SelectRequest(request_id=rid, target=target, c=2.0, ell=2, **kwargs)
+
+
+# -- admission control -------------------------------------------------------
+
+
+def test_queue_full_rejection_is_immediate_and_typed():
+    service = SelectionService(
+        small_universe(), history(), ServiceConfig(max_queue=2)
+    )
+    # Not started: nothing drains, so the queue state is exact.
+    admitted = [service.submit(request(f"q{i}")) for i in range(2)]
+    overflow = service.submit(request("q-over"))
+
+    assert overflow.done  # resolved synchronously, before any worker ran
+    rejected = overflow.wait(0)
+    assert rejected.status == "rejected"
+    assert rejected.code == "queue_full"
+    assert "retry" in (rejected.detail or "")
+
+    service.start()
+    try:
+        served = [pending.wait(30.0) for pending in admitted]
+    finally:
+        service.stop()
+    assert all(response.status == "ok" for response in served)
+    assert service.stats()["refused"] == 1
+    assert service.counters["rejected.queue_full"] == 1
+
+
+def test_admission_queue_closed_refuses():
+    queue: AdmissionQueue[int] = AdmissionQueue(max_depth=4)
+    assert queue.offer(1)
+    queue.close()
+    assert not queue.offer(2)
+    batch = queue.drain_batch(timeout=0.0)
+    assert batch is not None and batch.items == [1]
+    assert queue.drain_batch(timeout=0.0) is None
+
+
+def test_admission_queue_never_mixes_epoch_pins():
+    queue: AdmissionQueue[str] = AdmissionQueue(max_depth=8, max_batch=8)
+    queue.offer("a0", epoch_key=0)
+    queue.offer("b1", epoch_key=1)
+    queue.offer("a1", epoch_key=0)
+    queue.offer("free", epoch_key=EPOCH_ANY)
+    first = queue.drain_batch(timeout=0.0)
+    second = queue.drain_batch(timeout=0.0)
+    assert first is not None and second is not None
+    # Epoch-0 pins and the floating request share; the epoch-1 pin waits.
+    assert first.items == ["a0", "a1", "free"]
+    assert first.epoch_key == 0
+    assert second.items == ["b1"]
+    assert second.epoch_key == 1
+
+
+def test_admission_queue_floating_batch_adopts_first_pin():
+    queue: AdmissionQueue[str] = AdmissionQueue(max_depth=8, max_batch=8)
+    queue.offer("free", epoch_key=EPOCH_ANY)
+    queue.offer("pin3", epoch_key=3)
+    queue.offer("pin4", epoch_key=4)
+    batch = queue.drain_batch(timeout=0.0)
+    assert batch is not None
+    assert batch.items == ["free", "pin3"]
+    assert batch.epoch_key == 3
+
+
+# -- snapshot epochs ---------------------------------------------------------
+
+
+def test_stale_epoch_rejected_mid_batch_without_poisoning_mates():
+    service = SelectionService(small_universe(), history())
+    pinned = service.submit(request("pinned", epoch=0))
+    floating = service.submit(request("floating", target="t5"))
+    # The chain grows while both requests sit in the queue: the batch
+    # they end up in executes against epoch 1.
+    service.commit_ring(["t3", "t4"], c=2.0, ell=2)
+    assert service.epoch == 1
+
+    service.start()
+    try:
+        stale = pinned.wait(30.0)
+        served = floating.wait(30.0)
+    finally:
+        service.stop()
+
+    assert stale.status == "rejected"
+    assert stale.code == "stale_epoch"
+    assert stale.epoch == 1
+    assert served.status == "ok"
+    assert served.epoch == 1
+    # Same batch: the stale rejection did not split or kill the batch.
+    assert stale.batch_id == served.batch_id
+    assert stale.batch_size == served.batch_size == 2
+    # The floating mate was answered against the *new* snapshot (the
+    # committed ring consumed t3, so its history is two rings deeper).
+    direct = bfs_select(
+        DamsInstance(
+            small_universe(),
+            history()
+            + [Ring("svc:2", frozenset({"t3", "t4"}), c=2.0, ell=2, seq=2)],
+            "t5",
+            c=2.0,
+            ell=2,
+        )
+    )
+    assert sorted(served.tokens) == sorted(direct.ring.tokens)
+
+
+def test_commit_invalidates_warm_cache_deterministically():
+    service = SelectionService(small_universe(), history())
+    service.start()
+    try:
+        first = service.submit_wait(request("w1"), 30.0)
+        second = service.submit_wait(request("w2", target="t4"), 30.0)
+        assert not first.warm_cache and second.warm_cache
+        service.commit_ring(["t3", "t4"], c=2.0, ell=2)
+        third = service.submit_wait(request("w3", target="t5"), 30.0)
+        assert not third.warm_cache  # new epoch starts cold
+    finally:
+        service.stop()
+    assert service.state.caches_invalidated == 1
+
+
+def test_commit_rejects_duplicate_rid():
+    state = ServiceState(small_universe(), history())
+    with pytest.raises(ValueError, match="duplicate ring id"):
+        state.commit(Ring("r1", frozenset({"t3"}), c=1.0, ell=1, seq=2))
+
+
+# -- batch-mate isolation ----------------------------------------------------
+
+
+def test_one_degrading_request_does_not_poison_batch_mates():
+    service = SelectionService(small_universe(), history())
+    mates = [
+        service.submit(request("m1", target="t3")),
+        # A budget so small the exact rung trips on its first deadline
+        # check; the ladder steps down and still answers.
+        service.submit(
+            SelectRequest(
+                request_id="victim", target="t4", c=2.0, ell=2,
+                mode="ladder", time_budget=1e-9,
+            )
+        ),
+        service.submit(request("m2", target="t5")),
+    ]
+    service.start()
+    try:
+        first, degraded, last = [pending.wait(30.0) for pending in mates]
+    finally:
+        service.stop()
+
+    assert degraded.status == "ok"
+    assert degraded.degraded and degraded.rung != "exact"
+    # All three shared one batch; the mates got exact, undegraded answers
+    # identical to direct solver calls.
+    assert first.batch_id == degraded.batch_id == last.batch_id
+    for response, target in ((first, "t3"), (last, "t5")):
+        assert response.status == "ok" and not response.degraded
+        direct = bfs_select(
+            DamsInstance(small_universe(), history(), target, c=2.0, ell=2)
+        )
+        assert sorted(response.tokens) == sorted(direct.ring.tokens)
+        assert response.candidates_checked == direct.candidates_checked
+
+
+def test_exact_mode_budget_trip_is_a_typed_error():
+    service = SelectionService(small_universe(), history())
+    service.start()
+    try:
+        response = service.submit_wait(
+            request("b1", time_budget=1e-9), 30.0
+        )
+    finally:
+        service.stop()
+    assert response.status == "error"
+    assert response.code == "budget_exceeded"
+
+
+def test_per_request_fault_plan_is_isolated_and_fresh():
+    plan = {
+        "version": 1,
+        "seed": 0,
+        "faults": [{"site": "bfs.candidate", "action": "error", "at_hit": 1}],
+    }
+    service = SelectionService(small_universe(), history())
+    chaotic_a = service.submit(request("chaos-a", fault_plan=plan))
+    healthy = service.submit(request("healthy", target="t4"))
+    chaotic_b = service.submit(request("chaos-b", target="t5", fault_plan=plan))
+    service.start()
+    try:
+        responses = [p.wait(30.0) for p in (chaotic_a, healthy, chaotic_b)]
+    finally:
+        service.stop()
+
+    assert responses[0].status == "error"
+    assert responses[0].code == "fault_injected"
+    # Fresh plan per request: the second chaotic request fires at *its*
+    # first candidate too (per-process counters would have spent the
+    # single max_fires already).
+    assert responses[2].status == "error"
+    assert responses[2].code == "fault_injected"
+    assert responses[1].status == "ok"
+    direct = bfs_select(
+        DamsInstance(small_universe(), history(), "t4", c=2.0, ell=2)
+    )
+    assert sorted(responses[1].tokens) == sorted(direct.ring.tokens)
+
+
+def test_infeasible_is_a_typed_error_not_a_crash():
+    # ell larger than the number of distinct HTs can never be met.
+    service = SelectionService(small_universe(), history())
+    service.start()
+    try:
+        response = service.submit_wait(
+            SelectRequest(
+                request_id="inf", target="t3", c=1.0, ell=7, mode="exact"
+            ),
+            30.0,
+        )
+        after = service.submit_wait(request("after", target="t4"), 30.0)
+    finally:
+        service.stop()
+    assert response.status == "error"
+    assert response.code == "infeasible"
+    assert after.status == "ok"
+
+
+# -- result memo -------------------------------------------------------------
+
+
+def test_identical_requests_are_memo_served_byte_identically():
+    service = SelectionService(small_universe(), history())
+    service.start()
+    try:
+        first = service.submit_wait(request("a1"), 30.0)
+        second = service.submit_wait(request("a2"), 30.0)
+    finally:
+        service.stop()
+    direct = bfs_select(
+        DamsInstance(small_universe(), history(), "t3", c=2.0, ell=2)
+    )
+    for response in (first, second):
+        assert response.status == "ok"
+        assert sorted(response.tokens) == sorted(direct.ring.tokens)
+        assert response.candidates_checked == direct.candidates_checked
+    assert "memo" not in first.attrs
+    assert second.attrs.get("memo") is True
+    assert second.request_id == "a2"  # identity is per-request, not replayed
+    assert service.counters["memo.hits"] == 1
+    assert service.counters["memo.stores"] == 1
+
+
+def test_memo_dies_with_the_epoch():
+    service = SelectionService(small_universe(), history())
+    service.start()
+    try:
+        service.submit_wait(request("e1", target="t5"), 30.0)
+        service.commit_ring(["t3", "t4"], c=2.0, ell=2)
+        again = service.submit_wait(request("e2", target="t5"), 30.0)
+    finally:
+        service.stop()
+    # Same parameters, new snapshot: solved fresh, not replayed.
+    assert again.status == "ok"
+    assert "memo" not in again.attrs
+    assert "memo.hits" not in service.counters
+    assert service.counters["memo.stores"] == 2
+
+
+def test_ladder_memo_is_seed_scoped():
+    service = SelectionService(small_universe(), history())
+    service.start()
+    try:
+        service.submit_wait(request("s0", mode="ladder", seed=0), 30.0)
+        other = service.submit_wait(request("s1", mode="ladder", seed=1), 30.0)
+        same = service.submit_wait(request("s0b", mode="ladder", seed=0), 30.0)
+    finally:
+        service.stop()
+    assert "memo" not in other.attrs  # different seed, different key
+    assert same.attrs.get("memo") is True
+    assert service.counters["memo.hits"] == 1
+    assert service.counters["memo.stores"] == 2
+
+
+def test_fault_plan_requests_bypass_the_memo():
+    plan = {
+        "version": 1,
+        "seed": 0,
+        "faults": [{"site": "bfs.candidate", "action": "error", "at_hit": 1}],
+    }
+    service = SelectionService(small_universe(), history())
+    service.start()
+    try:
+        healthy = service.submit_wait(request("h1"), 30.0)
+        chaotic = service.submit_wait(request("h2", fault_plan=plan), 30.0)
+    finally:
+        service.stop()
+    assert healthy.status == "ok"
+    # A memoized replay would have masked the injected fault.
+    assert chaotic.status == "error"
+    assert chaotic.code == "fault_injected"
+    assert "memo.hits" not in service.counters
+
+
+# -- protocol ----------------------------------------------------------------
+
+
+def test_select_request_round_trips_through_wire_form():
+    req = SelectRequest(
+        request_id="x", target="t3", c=2.0, ell=2, mode="exact",
+        epoch=4, time_budget=1.5, max_mixins=3, seed=9,
+    )
+    assert SelectRequest.from_dict(decode(encode(req.to_dict()))) == req
+
+
+def test_select_response_round_trips_through_wire_form():
+    resp = SelectResponse(
+        request_id="x", status="ok", epoch=2, tokens=("t3", "t4"),
+        mixins=("t4",), rung="exact", claimed_c=2.0, claimed_ell=2,
+        candidates_checked=3, elapsed=0.25, batch_id=7, batch_size=3,
+        warm_cache=True,
+    )
+    parsed = SelectResponse.from_dict(decode(encode(resp.to_dict())))
+    assert parsed.ok and sorted(parsed.tokens) == ["t3", "t4"]
+    assert parsed.batch_id == 7 and parsed.warm_cache
+
+
+def test_protocol_rejects_unknown_mode_and_empty_id():
+    with pytest.raises(ProtocolError):
+        SelectRequest(request_id="x", target="t", c=1.0, ell=1, mode="warp")
+    with pytest.raises(ProtocolError):
+        SelectRequest(request_id="", target="t", c=1.0, ell=1)
+    with pytest.raises(ProtocolError):
+        SelectRequest.from_dict({"id": "x", "target": "t", "c": "NaN-ish"})
+
+
+def test_handle_line_answers_malformed_input_without_dying():
+    service = SelectionService(small_universe(), history())
+    line, keep_going = handle_line(service, "{broken")
+    assert keep_going
+    payload = decode(line)
+    assert payload["status"] == "rejected"
+    assert payload["code"] == "bad_request"
+
+    line, keep_going = handle_line(service, encode({"op": "teleport"}))
+    assert keep_going and decode(line)["code"] == "bad_request"
+
+    line, keep_going = handle_line(service, encode({"op": "shutdown"}))
+    assert not keep_going and decode(line)["status"] == "ok"

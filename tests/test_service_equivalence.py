@@ -1,0 +1,205 @@
+"""The service contract: it changes *when* work happens, never *what*.
+
+Selections produced through the daemon — in-process, over a unix
+socket, or through a `python -m repro.cli serve` subprocess speaking
+JSONL on stdio — must be byte-identical to direct
+:func:`repro.core.bfs.bfs_select` / :func:`ladder_select` calls on the
+same instance at the same seed, warm cache or not.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+from repro.core.bfs import bfs_select
+from repro.core.problem import DamsInstance
+from repro.core.ring import Ring, TokenUniverse
+from repro.resilience.ladder import ladder_select
+from repro.service import (
+    SelectionService,
+    SelectRequest,
+    ServiceClient,
+    ServiceConfig,
+    serve_socket,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def fig4_universe(tokens: int = 14, hts: int = 6, seed: int = 3) -> TokenUniverse:
+    """Mirror of the CLI's synthetic snapshot (`repro.cli serve` flags)."""
+    rng = random.Random(seed)
+    return TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(hts)}" for i in range(tokens)}
+    )
+
+
+def seeded_history(universe: TokenUniverse) -> list[Ring]:
+    """A deterministic two-ring history so closures are non-trivial."""
+    tokens = sorted(universe.tokens)
+    return [
+        Ring("r0", frozenset(tokens[0:4]), c=2.0, ell=2, seq=0),
+        Ring("r1", frozenset(tokens[2:6]), c=2.0, ell=2, seq=1),
+    ]
+
+
+TARGETS = ("t06", "t07", "t09", "t11")
+
+
+def test_service_exact_matches_direct_bfs_select_per_target():
+    universe = fig4_universe()
+    hist = seeded_history(universe)
+    direct = {
+        target: bfs_select(
+            DamsInstance(universe, list(hist), target, c=2.0, ell=2)
+        )
+        for target in TARGETS
+    }
+    with SelectionService(universe, hist) as service:
+        for target in TARGETS:
+            response = service.submit_wait(
+                SelectRequest(
+                    request_id=target, target=target, c=2.0, ell=2,
+                    mode="exact",
+                ),
+                60.0,
+            )
+            assert response.status == "ok", response.detail
+            assert sorted(response.tokens) == sorted(direct[target].ring.tokens)
+            assert sorted(response.mixins) == sorted(direct[target].mixins)
+            assert (
+                response.candidates_checked
+                == direct[target].candidates_checked
+            )
+
+
+def test_service_ladder_matches_direct_ladder_select_at_equal_seed():
+    universe = fig4_universe()
+    hist = seeded_history(universe)
+    with SelectionService(universe, hist) as service:
+        for target in TARGETS:
+            for seed in (0, 7):
+                direct = ladder_select(
+                    DamsInstance(universe, list(hist), target, c=2.0, ell=2),
+                    rng=random.Random(seed),
+                )
+                response = service.submit_wait(
+                    SelectRequest(
+                        request_id=f"{target}:{seed}", target=target,
+                        c=2.0, ell=2, mode="ladder", seed=seed,
+                    ),
+                    60.0,
+                )
+                assert response.status == "ok", response.detail
+                assert sorted(response.tokens) == sorted(direct.result.tokens)
+                assert response.rung == direct.rung
+                assert response.claimed_c == direct.claimed_c
+                assert response.claimed_ell == direct.claimed_ell
+
+
+def test_warm_batch_results_equal_cold_single_results():
+    """One warm batch answers exactly like N cold one-shot services."""
+    universe = fig4_universe()
+    hist = seeded_history(universe)
+    cold = {}
+    for target in TARGETS:
+        with SelectionService(universe, hist) as one_shot:
+            cold[target] = one_shot.submit_wait(
+                SelectRequest(
+                    request_id=target, target=target, c=2.0, ell=2,
+                    mode="exact",
+                ),
+                60.0,
+            )
+    batched = SelectionService(
+        universe, hist, ServiceConfig(max_batch=len(TARGETS))
+    )
+    pendings = [
+        batched.submit(
+            SelectRequest(
+                request_id=target, target=target, c=2.0, ell=2, mode="exact"
+            )
+        )
+        for target in TARGETS
+    ]
+    batched.start()
+    try:
+        warm = {p.request.request_id: p.wait(60.0) for p in pendings}
+    finally:
+        batched.stop()
+    batch_ids = {response.batch_id for response in warm.values()}
+    assert len(batch_ids) == 1  # genuinely one micro-batch
+    for target in TARGETS:
+        assert warm[target].status == cold[target].status == "ok"
+        assert sorted(warm[target].tokens) == sorted(cold[target].tokens)
+        assert (
+            warm[target].candidates_checked
+            == cold[target].candidates_checked
+        )
+
+
+def test_socket_round_trip_matches_direct():
+    universe = fig4_universe()
+    hist = seeded_history(universe)
+    direct = bfs_select(
+        DamsInstance(universe, list(hist), "t06", c=2.0, ell=2)
+    )
+    with SelectionService(universe, hist) as service:
+        ready = threading.Event()
+        path = "/tmp/repro-eqtest.sock"
+        server = threading.Thread(
+            target=serve_socket, args=(service, path, ready), daemon=True
+        )
+        server.start()
+        assert ready.wait(5.0)
+        with ServiceClient(path) as client:
+            response = client.select(target="t06", c=2.0, ell=2, mode="exact")
+            assert response.status == "ok"
+            assert sorted(response.tokens) == sorted(direct.ring.tokens)
+            assert response.candidates_checked == direct.candidates_checked
+            client.shutdown()
+        server.join(timeout=5.0)
+        assert not server.is_alive()
+
+
+def test_stdio_subprocess_round_trip_matches_direct():
+    """The full `serve` CLI path: JSONL in, byte-identical tokens out."""
+    tokens, hts, seed = 14, 6, 3
+    universe = fig4_universe(tokens, hts, seed)
+    lines = [
+        json.dumps(
+            {
+                "op": "select", "id": target, "target": target,
+                "c": 2.0, "ell": 2, "mode": "exact",
+            }
+        )
+        for target in TARGETS
+    ]
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--tokens", str(tokens), "--hts", str(hts), "--seed", str(seed),
+        ],
+        input="\n".join(lines) + "\n",
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    responses = [json.loads(line) for line in completed.stdout.splitlines()]
+    assert len(responses) == len(TARGETS)
+    for payload in responses:
+        # The serve snapshot has no ring history, so compare against a
+        # history-free direct instance.
+        direct = bfs_select(
+            DamsInstance(universe, [], payload["id"], c=2.0, ell=2)
+        )
+        assert payload["status"] == "ok"
+        assert payload["tokens"] == sorted(direct.ring.tokens)
+        assert payload["candidates_checked"] == direct.candidates_checked

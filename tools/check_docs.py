@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for the docs tree.
+
+Walks the repo's markdown (README.md, DESIGN.md, EXPERIMENTS.md,
+ROADMAP.md, docs/*.md), extracts every inline link, and verifies:
+
+* relative file links resolve to a path that exists (directories ok);
+* fragment links — ``#anchor`` or ``file.md#anchor`` — name a heading
+  that actually exists in the target file, using GitHub's slug rules
+  (lowercase, punctuation dropped, spaces to hyphens, backticks
+  stripped);
+* external schemes (http/https/mailto) are skipped — this checker is
+  offline by design.
+
+Headings and links inside fenced code blocks are ignored.  Exits 0
+when everything resolves, 1 with one line per broken link otherwise —
+``make docs`` wires it into CI next to the doctest suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The documentation surface the checker owns.
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+DOC_GLOBS = ["docs/*.md"]
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_paths() -> list[Path]:
+    paths = [REPO / name for name in DOC_FILES if (REPO / name).exists()]
+    for pattern in DOC_GLOBS:
+        paths.extend(sorted(REPO.glob(pattern)))
+    return paths
+
+
+def unfenced_lines(text: str):
+    """Yield (line_number, line) outside fenced code blocks."""
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield number, line
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    text = heading.lstrip("#").strip().replace("`", "")
+    out = []
+    for ch in text.lower():
+        if ch.isalnum() or ch in "_-":
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+    return "".join(out)
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    for _, line in unfenced_lines(path.read_text(encoding="utf-8")):
+        if line.startswith("#"):
+            slugs.add(github_slug(line))
+    return slugs
+
+
+def check_file(path: Path, slug_cache: dict[Path, set[str]]) -> list[str]:
+    problems = []
+    for number, line in unfenced_lines(path.read_text(encoding="utf-8")):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            where = f"{path.relative_to(REPO)}:{number}"
+            file_part, _, anchor = target.partition("#")
+            resolved = (
+                path if not file_part else (path.parent / file_part).resolve()
+            )
+            if not resolved.exists():
+                problems.append(f"{where}: broken link {target!r} "
+                                f"(no such file {file_part!r})")
+                continue
+            if not anchor:
+                continue
+            if resolved.suffix.lower() != ".md":
+                problems.append(f"{where}: anchor on non-markdown "
+                                f"target {target!r}")
+                continue
+            if resolved not in slug_cache:
+                slug_cache[resolved] = heading_slugs(resolved)
+            if anchor not in slug_cache[resolved]:
+                problems.append(f"{where}: broken anchor {target!r} "
+                                f"(no heading slug {anchor!r})")
+    return problems
+
+
+def main() -> int:
+    paths = doc_paths()
+    slug_cache: dict[Path, set[str]] = {}
+    problems = []
+    for path in paths:
+        problems.extend(check_file(path, slug_cache))
+    if problems:
+        print(f"{len(problems)} broken link(s) in {len(paths)} file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs ok: {len(paths)} file(s), all links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
