@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint chaos bench-smoke bench docs verify
+.PHONY: test test-nonumpy lint chaos bench-smoke bench docs verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,12 +16,19 @@ chaos:
 	REPRO_CHAOS_WORKERS=2 $(PYTHON) -m pytest tests/test_failure_injection.py tests/test_resilience.py -q
 
 # Sub-minute perf guard: the before/after BFS ladder (writes
-# benchmarks/results/BENCH_bfs.json) with tight, env-overridable caps.
+# benchmarks/results/BENCH_bfs.json) with tight caps — the seed
+# budget-trips the deepest rung here; the full `bench` target lets it
+# finish (~70 s) and claims the deeper rung.
 bench-smoke:
-	REPRO_BENCH_REF_TOTAL=30 $(PYTHON) -m pytest benchmarks/test_bench_bfs_perf.py -q -s
+	REPRO_BENCH_REF_BUDGET=15 REPRO_BENCH_REF_TOTAL=30 $(PYTHON) -m pytest benchmarks/test_bench_bfs_perf.py -q -s
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -s
+
+# Tier-1 with the numpy-free kernel backend: proves the optional perf
+# extra never becomes load-bearing (CI runs the same split).
+test-nonumpy:
+	REPRO_KERNEL_BACKEND=python $(PYTHON) -m pytest -x -q
 
 # Documentation gate: every markdown link/anchor resolves and every
 # public-API docstring example still runs.
@@ -29,4 +36,4 @@ docs:
 	$(PYTHON) tools/check_docs.py
 	$(PYTHON) -m pytest tests/test_doctests.py -q
 
-verify: test chaos bench-smoke docs
+verify: test test-nonumpy chaos bench-smoke docs

@@ -13,13 +13,22 @@ Claims asserted:
   tokens, sizes and ``candidates_checked``),
 * at the largest ladder rung the seed completes, the optimized solver
   is >= 3x faster,
-* the whole bench stays under a smoke-friendly time box.
+* the whole bench stays under a budget-scaled time box.
+
+The artifact also records which kernel backend
+(:mod:`repro.core.perf.kernels`) the optimized run used and its
+batch-size histogram, so perf history distinguishes backend changes
+from algorithmic ones.
 
 Budgets are env-overridable: REPRO_BENCH_OPT_BUDGET (per-ring budget
 for the optimized run, default 10 s), REPRO_BENCH_REF_BUDGET (seed
-run, default 15 s — note the seed only honours it *between*
-candidates), REPRO_BENCH_REF_TOTAL (cumulative cap on the seed ladder,
-default 45 s).
+run, default 90 s — enough for the seed to complete rung 6, ~70 s on
+the reference substrate; note the seed only honours the budget
+*between* candidates), REPRO_BENCH_REF_TOTAL (cumulative cap on the
+seed ladder, default 45 s).  ``make bench-smoke`` pins
+REF_BUDGET=15/REF_TOTAL=30 so the smoke run budget-trips rung 6 and
+claims rung 5; the full ``make bench`` lets the seed finish rung 6 and
+claims the deepest rung.
 """
 
 import os
@@ -27,6 +36,7 @@ import random
 import time
 
 from repro.core.bfs import SearchBudgetExceeded, bfs_select
+from repro.core.perf.kernels import active_backend_name
 from repro.core.perf.reference import bfs_select_reference
 from repro.core.problem import DamsInstance, InfeasibleError
 from repro.core.ring import Ring, TokenUniverse
@@ -42,7 +52,7 @@ SEED = 3
 MAX_RINGS = 6
 
 OPT_BUDGET = float(os.environ.get("REPRO_BENCH_OPT_BUDGET", "10"))
-REF_BUDGET = float(os.environ.get("REPRO_BENCH_REF_BUDGET", "15"))
+REF_BUDGET = float(os.environ.get("REPRO_BENCH_REF_BUDGET", "90"))
 REF_TOTAL = float(os.environ.get("REPRO_BENCH_REF_TOTAL", "45"))
 MIN_SPEEDUP = 3.0
 MIN_REF_SECONDS = 0.05  # below this, timer noise dominates — no claim
@@ -158,7 +168,17 @@ def test_bfs_perf_layer_speedup():
     headline = max(claimable, key=lambda row: row["ring_index"])
 
     total = time.perf_counter() - bench_start
+    snapshot = recorder.snapshot()
+    kernel_counters = snapshot.get("counters", {})
+    kernel = {
+        "backend": active_backend_name(),
+        "batches": kernel_counters.get("kernel.batches", 0),
+        "candidates": kernel_counters.get("kernel.candidates", 0),
+        "states_built": kernel_counters.get("kernel.states", 0),
+        "batch_size": snapshot.get("histograms", {}).get("kernel.batch_size"),
+    }
     payload = {
+        "kernel": kernel,
         "workload": {
             "token_count": TOKEN_COUNT,
             "ht_count": HT_COUNT,
@@ -195,6 +215,15 @@ def test_bfs_perf_layer_speedup():
             f"{opt_s if opt_s is None else format(opt_s, '13.3f')} | "
             f"{'-' if speedup is None else format(speedup, '8.1f')}"
         )
+    lines.append("")
+    batch_hist = kernel["batch_size"] or {}
+    mean_batch = batch_hist.get("sum", 0) / max(batch_hist.get("count", 0), 1)
+    lines.append(
+        f"kernel backend: {kernel['backend']} "
+        f"({kernel['batches']} batches, {kernel['candidates']} candidates, "
+        f"mean batch {mean_batch:.1f}, "
+        f"{kernel['states_built']} states built)"
+    )
     text = "\n".join(lines)
     save_text("BENCH_bfs.txt", text)
     print("\n" + text)
@@ -204,5 +233,9 @@ def test_bfs_perf_layer_speedup():
         f"{headline['speedup']:.2f}x "
         f"({headline['seed_seconds']:.3f}s -> {headline['optimized_seconds']:.3f}s)"
     )
-    # 60 s smoke box at the default caps; scales if the caps are raised.
-    assert total < REF_TOTAL + 15, f"bench overran its time box: {total:.1f}s"
+    # The total cap only gates *starting* a rung, so the seed can spend
+    # up to one full REF_BUDGET past it; the box scales with both caps
+    # (60 s under the bench-smoke pins, 150 s at the full defaults).
+    assert total < REF_TOTAL + REF_BUDGET + 15, (
+        f"bench overran its time box: {total:.1f}s"
+    )

@@ -48,8 +48,9 @@ from ..obs import events, metrics, trace
 from ..resilience import faults
 from .diversity import ht_counts_satisfy
 from .perf.cache import SolverCache
+from .perf.kernels import KERNEL_BATCH_SIZE, prefilter_chunk
 from .perf.matching import IncrementalMatcher
-from .perf.parallel import resolve_workers, scan_candidates
+from .perf.parallel import chunked, resolve_workers, scan_candidates
 from .perf.worlds import DeadlineExceeded
 from .problem import DamsInstance, InfeasibleError
 from .ring import Ring
@@ -263,28 +264,41 @@ def bfs_select(
                         )
                     _checkpoint_boundary(size + 1)
                     continue
-                for mixin_tuple in stream:
-                    if deadline is not None and time.perf_counter() > deadline:
-                        raise _with_checkpoint(_trip_budget(
-                            time_budget, checked, size, scanned_in_size, deadline
-                        ))
-                    checked += 1
-                    scanned_in_size += 1
-                    candidate = instance.make_ring(mixin_tuple)
-                    try:
-                        feasible = _candidate_feasible(
-                            instance, candidate, cache=cache, deadline=deadline
+                for batch in chunked(stream, KERNEL_BATCH_SIZE):
+                    # One kernel pass resolves most of the stratum chunk
+                    # (None = batching off or the state build tripped
+                    # the deadline); the in-order replay below keeps the
+                    # seed's deadline, fault-hook and event semantics.
+                    verdicts = prefilter_chunk(
+                        instance, cache, batch, deadline=deadline
+                    )
+                    for local_index, mixin_tuple in enumerate(batch):
+                        if deadline is not None and time.perf_counter() > deadline:
+                            raise _with_checkpoint(_trip_budget(
+                                time_budget, checked, size, scanned_in_size,
+                                deadline,
+                            ))
+                        checked += 1
+                        scanned_in_size += 1
+                        candidate = instance.make_ring(mixin_tuple)
+                        verdict = (
+                            None if verdicts is None else verdicts[local_index]
                         )
-                    except SearchBudgetExceeded as exc:
-                        _annotate_trip(exc, size, scanned_in_size, deadline)
-                        raise _with_checkpoint(exc)
-                    if feasible:
-                        if stratum_span is not None:
-                            stratum_span.attrs["candidates"] = scanned_in_size
-                        return _finish(
-                            select_span, candidate, frozenset(mixin_tuple),
-                            checked, start,
-                        )
+                        try:
+                            feasible = _replay_candidate(
+                                instance, candidate, verdict,
+                                cache=cache, deadline=deadline,
+                            )
+                        except SearchBudgetExceeded as exc:
+                            _annotate_trip(exc, size, scanned_in_size, deadline)
+                            raise _with_checkpoint(exc)
+                        if feasible:
+                            if stratum_span is not None:
+                                stratum_span.attrs["candidates"] = scanned_in_size
+                            return _finish(
+                                select_span, candidate, frozenset(mixin_tuple),
+                                checked, start,
+                            )
                 if stratum_span is not None:
                     stratum_span.attrs["candidates"] = scanned_in_size
                 if events.enabled():
@@ -411,9 +425,51 @@ def _candidate_feasible(
         SearchBudgetExceeded: the deadline passed mid-check (the seed
             only noticed between candidates; see the module docstring).
     """
+    return _replay_candidate(
+        instance, candidate, None, cache=cache, deadline=deadline
+    )
+
+
+def _replay_candidate(
+    instance: DamsInstance,
+    candidate: Ring,
+    verdict: str | None,
+    cache: SolverCache | None = None,
+    deadline: float | None = None,
+) -> bool:
+    """One candidate of the in-order replay after a kernel pre-filter.
+
+    Fires the ``bfs.candidate`` fault hook (once per candidate, in
+    enumeration order — exactly as the per-candidate path does), then
+    applies the kernel ``verdict``: resolved verdicts emit the matching
+    :class:`~repro.obs.events.CandidateScanned` event directly; ``None``
+    (batching off, or the kernel hit the deadline mid-chunk) runs the
+    exact per-candidate check.
+    """
     plan = faults.active()
     if plan is not None:
         plan.check("bfs.candidate")
+    if verdict is None:
+        return _check_candidate(
+            instance, candidate, cache=cache, deadline=deadline
+        )
+    size = len(candidate.tokens) - 1
+    if verdict == "feasible":
+        if events.enabled():
+            events.emit(events.CandidateScanned(size=size, filtered_at=None))
+        return True
+    if events.enabled():
+        events.emit(events.CandidateScanned(size=size, filtered_at=verdict))
+    return False
+
+
+def _check_candidate(
+    instance: DamsInstance,
+    candidate: Ring,
+    cache: SolverCache | None = None,
+    deadline: float | None = None,
+) -> bool:
+    """The exact per-candidate tail (ht gate, matcher, DTRS sweep)."""
     universe = instance.universe
     obs_on = events.enabled()
     size = len(candidate.tokens) - 1  # mixin count: the stratum this is in

@@ -42,6 +42,7 @@ class CacheStats:
     related_queries: int = 0
     worlds_hits: int = 0
     worlds_misses: int = 0
+    kernel_builds: int = 0
 
     @property
     def worlds_queries(self) -> int:
@@ -72,6 +73,12 @@ class SolverCache:
         self._components: list[_Component] = []
         self._build_components()
         self._worlds: dict[frozenset[int], WorldSet] = {}
+        # (key, backend name) -> (source WorldSet, KernelState).  Keyed
+        # by WorldSet identity so a chaos-dropped worlds entry also
+        # invalidates the kernel state derived from it.
+        self._kernel_states: dict[
+            tuple[frozenset[int], str], tuple[WorldSet, object]
+        ] = {}
 
     # -- component decomposition ------------------------------------------
 
@@ -158,6 +165,34 @@ class SolverCache:
             if events.enabled():
                 events.emit(events.CacheWorldsLookup(hit=True))
         return worlds
+
+    def kernel_state(
+        self, key: frozenset[int], backend, deadline: float | None = None
+    ):
+        """The (cached) batch-kernel state of the base worlds under ``key``.
+
+        Routes through :meth:`base_worlds` every call — the state is
+        derived data, so it must follow the worlds entry through cache
+        chaos: a corrupted/dropped worlds entry yields a fresh
+        :class:`WorldSet` and therefore a rebuilt state.
+        """
+        worlds = self.base_worlds(key, deadline=deadline)
+        state_key = (key, backend.name)
+        entry = self._kernel_states.get(state_key)
+        if entry is not None and entry[0] is worlds:
+            return entry[1]
+        self.stats.kernel_builds += 1
+        state = backend.build_state(worlds, self.universe)
+        self._kernel_states[state_key] = (worlds, state)
+        if events.enabled():
+            events.emit(
+                events.KernelStateBuilt(
+                    rings=len(worlds.rings),
+                    worlds=len(worlds),
+                    backend=backend.name,
+                )
+            )
+        return state
 
     def closure_worlds(
         self, candidate: Ring, deadline: float | None = None

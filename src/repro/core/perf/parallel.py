@@ -34,6 +34,7 @@ usually clears the budget.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from itertools import islice
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -140,7 +141,8 @@ def _scan_chunk(
     "budget" the last snapshot is the tripping candidate's partial
     counts, mirroring what a serial run would have accumulated.
     """
-    from ..bfs import SearchBudgetExceeded, _candidate_feasible
+    from ..bfs import SearchBudgetExceeded, _replay_candidate
+    from .kernels import prefilter_chunk
 
     chunk, chunk_index, attempt = task
     plan = faults.active()
@@ -151,13 +153,27 @@ def _scan_chunk(
     deadline = _STATE["deadline"]
     record = _STATE["record"]
     snaps: list[dict] | None = [] if record else None
+    # The same kernel pre-filter the serial solver runs — verdicts are
+    # functions of (instance, candidate), so per-candidate work (and the
+    # counters the replay emits below) is identical to a serial scan of
+    # the same prefix no matter how candidates landed on workers.  The
+    # pre-filter runs outside the per-candidate recorders: kernel/cache
+    # counters are per-process (scheduling-dependent) by design.
+    verdicts = prefilter_chunk(instance, cache, chunk, deadline=deadline)
     for local_index, mixin_tuple in enumerate(chunk):
+        # Resolved verdicts apply in O(1) and never consult the clock
+        # internally, so the replay keeps the serial loop's explicit
+        # per-candidate deadline pre-check.
+        if deadline is not None and time.perf_counter() > deadline:
+            return ("budget", local_index, None, snaps)
         candidate = instance.make_ring(mixin_tuple)
+        verdict = None if verdicts is None else verdicts[local_index]
         if record:
             with metrics.recording() as rec:
                 try:
-                    feasible = _candidate_feasible(
-                        instance, candidate, cache=cache, deadline=deadline
+                    feasible = _replay_candidate(
+                        instance, candidate, verdict,
+                        cache=cache, deadline=deadline,
                     )
                 except SearchBudgetExceeded:
                     snaps.append(rec.snapshot())
@@ -165,8 +181,9 @@ def _scan_chunk(
             snaps.append(rec.snapshot())
         else:
             try:
-                feasible = _candidate_feasible(
-                    instance, candidate, cache=cache, deadline=deadline
+                feasible = _replay_candidate(
+                    instance, candidate, verdict,
+                    cache=cache, deadline=deadline,
                 )
             except SearchBudgetExceeded:
                 return ("budget", local_index, None, None)

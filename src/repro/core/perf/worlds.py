@@ -1,10 +1,15 @@
-"""Interned, bitmask-indexed token-RS combinations of a ring set.
+"""Interned, columnar, bitmask-indexed token-RS combinations of a ring set.
 
 The seed ``get_dtrss`` materialized ``list(enumerate_combinations(...))``
 as a list of ``{rid: token}`` dicts for *every* (target, closure) call,
 then re-scanned the whole list once per candidate pair set.  A
-:class:`WorldSet` enumerates the combinations of a ring set once, as
-tuples of interned token indices, and builds two derived structures:
+:class:`WorldSet` enumerates the combinations of a ring set once,
+storing them **columnar**: one ``array`` of interned token indices per
+ring position (a column-per-ring token-index table) instead of a
+row-major ``list[tuple[int, ...]]``.  Rows (`.worlds`) are materialized
+lazily only when something actually needs them (``as_dicts``, the
+per-candidate ``extend`` fallback, tests).  Two derived structures are
+built from the columns:
 
 * ``pair mask`` — for each (ring position, token) pair, a Python int
   whose bit ``w`` is set iff world ``w`` assigns that token to that
@@ -20,6 +25,11 @@ enumeration walks the realizable pair sets directly (pruning any branch
 whose partial mask is already zero) instead of re-deriving them from
 every world.
 
+The columnar layout is also what the batch kernels
+(:mod:`~repro.core.perf.kernels`) consume: ``columns`` /
+``token_index`` / ``full_mask`` expose the table so a whole stratum of
+candidate rings can be evaluated against one base world set in bulk.
+
 A WorldSet is immutable once built; :meth:`extend` derives the world
 set of ``closure = base + [candidate]`` from the base worlds without
 re-running the backtracking enumeration — the shared-prefix trick the
@@ -30,6 +40,7 @@ share the same related-ring base.
 from __future__ import annotations
 
 import time
+from array import array
 from itertools import combinations as subset_combinations
 from typing import Sequence
 
@@ -41,6 +52,9 @@ __all__ = ["WorldSet", "DeadlineExceeded"]
 #: How many enumeration steps between deadline checks.
 _DEADLINE_STRIDE = 2048
 
+#: array typecode for token-index columns (token universes are small).
+_COLUMN_TYPE = "i"
+
 
 class DeadlineExceeded(RuntimeError):
     """Raised when a deadline passed mid-enumeration (budget threading)."""
@@ -51,17 +65,21 @@ class WorldSet:
 
     Attributes:
         rings: the ring sequence (positional order is the world layout).
-        worlds: list of worlds, each a tuple of token indices, one per
-            ring position.
+        columns: the columnar table — one ``array`` of token indices per
+            ring position; ``columns[p][w]`` is the token ring ``p``
+            consumes in world ``w``.
     """
 
     __slots__ = (
         "rings",
-        "worlds",
+        "columns",
+        "_count",
+        "_rows",
         "_position_of",
         "_token_names",
         "_token_index",
         "_pair_masks",
+        "_tokens_by_position",
         "_full_mask",
         "_dtrs_cache",
     )
@@ -70,7 +88,8 @@ class WorldSet:
         self,
         rings: Sequence[Ring],
         deadline: float | None = None,
-        _worlds: list[tuple[int, ...]] | None = None,
+        _columns: tuple[array, ...] | None = None,
+        _count: int | None = None,
         _token_names: list[str] | None = None,
     ) -> None:
         self.rings: list[Ring] = list(rings)
@@ -83,23 +102,29 @@ class WorldSet:
             names = _token_names
         self._token_names = names
         self._token_index = {name: idx for idx, name in enumerate(names)}
-        if _worlds is None:
-            self.worlds = self._enumerate(deadline)
+        if _columns is None:
+            self.columns, self._count = self._enumerate(deadline)
             if events.enabled():
                 events.emit(
                     events.WorldsBuilt(
-                        rings=len(self.rings), worlds=len(self.worlds)
+                        rings=len(self.rings), worlds=self._count
                     )
                 )
         else:
-            self.worlds = _worlds
+            self.columns = _columns
+            self._count = (
+                _count if _count is not None
+                else (len(_columns[0]) if _columns else 0)
+            )
+        self._rows: list[tuple[int, ...]] | None = None
         self._pair_masks: dict[tuple[int, int], int] | None = None
-        self._full_mask = (1 << len(self.worlds)) - 1
+        self._tokens_by_position: list[list[int]] | None = None
+        self._full_mask = (1 << self._count) - 1
         self._dtrs_cache: dict[tuple[str, int | None], list] = {}
 
     # -- construction -----------------------------------------------------
 
-    def _enumerate(self, deadline: float | None) -> list[tuple[int, ...]]:
+    def _enumerate(self, deadline: float | None) -> tuple[tuple[array, ...], int]:
         """Backtracking SDR enumeration, most-constrained rings first."""
         count = len(self.rings)
         candidates = [
@@ -107,19 +132,22 @@ class WorldSet:
             for ring in self.rings
         ]
         order = sorted(range(count), key=lambda i: len(candidates[i]))
-        worlds: list[tuple[int, ...]] = []
+        columns = tuple(array(_COLUMN_TYPE) for _ in range(count))
         assignment = [0] * count
         used: set[int] = set()
         steps = 0
+        worlds = 0
 
         def backtrack(depth: int) -> None:
-            nonlocal steps
+            nonlocal steps, worlds
             steps += 1
             if deadline is not None and steps % _DEADLINE_STRIDE == 0:
                 if time.perf_counter() > deadline:
                     raise DeadlineExceeded("world enumeration passed its deadline")
             if depth == count:
-                worlds.append(tuple(assignment))
+                for position in range(count):
+                    columns[position].append(assignment[position])
+                worlds += 1
                 return
             position = order[depth]
             for token in candidates[position]:
@@ -131,14 +159,14 @@ class WorldSet:
                 used.discard(token)
 
         backtrack(0)
-        return worlds
+        return columns, (worlds if count else 1)
 
     def extend(self, candidate: Ring, deadline: float | None = None) -> "WorldSet":
         """The world set of ``self.rings + [candidate]``.
 
         Every world of the closure is a base world plus one candidate
         token unused in that world, so the closure worlds come straight
-        from the base list — no backtracking re-run.  This is exact:
+        from the base table — no backtracking re-run.  This is exact:
         the candidate occupies the final ring position.
         """
         names = list(self._token_names)
@@ -149,32 +177,67 @@ class WorldSet:
                 names.append(token)
         cand_indices = sorted(index[token] for token in candidate.tokens)
 
-        extended: list[tuple[int, ...]] = []
-        steps = 0
+        extended = tuple(array(_COLUMN_TYPE) for _ in range(len(self.rings) + 1))
+        emitted = 0
         if not self.rings:
-            extended = [(idx,) for idx in cand_indices]
+            for idx in cand_indices:
+                extended[0].append(idx)
+            emitted = len(cand_indices)
         else:
+            cand_column = extended[-1]
+            base_columns = self.columns
+            positions = range(len(base_columns))
             for world in self.worlds:
-                steps += 1
-                if deadline is not None and steps % _DEADLINE_STRIDE == 0:
-                    if time.perf_counter() > deadline:
-                        raise DeadlineExceeded("world extension passed its deadline")
                 used = set(world)
                 for idx in cand_indices:
-                    if idx not in used:
-                        extended.append(world + (idx,))
+                    if idx in used:
+                        continue
+                    # The stride counts *emitted* worlds, not base
+                    # worlds: a base set with many open candidate
+                    # tokens multiplies the output, and the deadline
+                    # must track the work actually done.
+                    emitted += 1
+                    if deadline is not None and emitted % _DEADLINE_STRIDE == 0:
+                        if time.perf_counter() > deadline:
+                            raise DeadlineExceeded(
+                                "world extension passed its deadline"
+                            )
+                    for position in positions:
+                        extended[position].append(world[position])
+                    cand_column.append(idx)
         if events.enabled():
-            events.emit(events.WorldsExtended(worlds=len(extended)))
+            events.emit(events.WorldsExtended(worlds=emitted))
         return WorldSet(
             self.rings + [candidate],
-            _worlds=extended,
+            _columns=extended,
+            _count=emitted,
             _token_names=names,
         )
 
     # -- views ------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.worlds)
+        return self._count
+
+    @property
+    def worlds(self) -> list[tuple[int, ...]]:
+        """Row view of the table (lazy; columns are the primary storage)."""
+        if self._rows is None:
+            if not self.columns:
+                self._rows = [() for _ in range(self._count)]
+            else:
+                self._rows = list(zip(*self.columns))
+        return self._rows
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with one set bit per world."""
+        return self._full_mask
+
+    @property
+    def token_index(self) -> dict[str, int]:
+        """Interning table: token name -> column value (read-only)."""
+        return self._token_index
 
     def token_name(self, index: int) -> str:
         return self._token_names[index]
@@ -191,21 +254,36 @@ class WorldSet:
         """(ring position, token index) -> bitmask of consistent worlds."""
         if self._pair_masks is None:
             masks: dict[tuple[int, int], int] = {}
-            for w, world in enumerate(self.worlds):
-                bit = 1 << w
-                for position, token in enumerate(world):
+            for position, column in enumerate(self.columns):
+                for w, token in enumerate(column):
                     key = (position, token)
-                    masks[key] = masks.get(key, 0) | bit
+                    masks[key] = masks.get(key, 0) | (1 << w)
             self._pair_masks = masks
+            by_position: list[list[int]] = [[] for _ in self.rings]
+            for position, token in masks:
+                by_position[position].append(token)
+            for tokens in by_position:
+                tokens.sort()
+            self._tokens_by_position = by_position
         return self._pair_masks
 
+    def tokens_by_position(self) -> list[list[int]]:
+        """Per ring position: the sorted token indices it takes in any world.
+
+        Built alongside :meth:`pair_masks` — the per-position index the
+        seed lacked (it linearly scanned every pair-mask entry per
+        ``possible_tokens_of`` call).
+        """
+        if self._tokens_by_position is None:
+            self.pair_masks()
+        return self._tokens_by_position
+
     def possible_tokens_of(self, rid: str) -> frozenset[str]:
-        """Tokens the ring takes in at least one world (free, from masks)."""
+        """Tokens the ring takes in at least one world (indexed lookup)."""
         position = self._position_of[rid]
         return frozenset(
             self._token_names[token]
-            for (pos, token) in self.pair_masks()
-            if pos == position
+            for token in self.tokens_by_position()[position]
         )
 
     # -- DTRS enumeration (Algorithm 3 on masks) ---------------------------
@@ -234,7 +312,7 @@ class WorldSet:
 
         if target_rid not in self._position_of:
             raise ValueError("target ring must be a member of the ring set")
-        if not self.worlds:
+        if not self._count:
             self._dtrs_cache[key] = []
             if events.enabled():
                 events.emit(events.DtrsSweep(memo_hit=False, found=0))
@@ -246,10 +324,9 @@ class WorldSet:
         # HT masks of the target: worlds grouped by the HT of the
         # target's assigned token.
         ht_masks: dict[str, int] = {}
-        for (pos, token), mask in masks.items():
-            if pos == target_pos:
-                ht = universe.ht_of(self._token_names[token])
-                ht_masks[ht] = ht_masks.get(ht, 0) | mask
+        for token in self.tokens_by_position()[target_pos]:
+            ht = universe.ht_of(self._token_names[token])
+            ht_masks[ht] = ht_masks.get(ht, 0) | masks[(target_pos, token)]
         full = self._full_mask
 
         def determined_ht(mask: int) -> str | None:
@@ -264,13 +341,12 @@ class WorldSet:
         # their masks — the realizable pair universe.
         positions = [pos for pos in range(len(self.rings)) if pos != target_pos]
         pairs_by_position: dict[int, list[tuple[int, int]]] = {
-            pos: [] for pos in positions
+            pos: [
+                (token, masks[(pos, token)])
+                for token in self.tokens_by_position()[pos]
+            ]
+            for pos in positions
         }
-        for (pos, token), mask in masks.items():
-            if pos != target_pos:
-                pairs_by_position[pos].append((token, mask))
-        for pos in positions:
-            pairs_by_position[pos].sort()
 
         cap = len(positions) if max_size is None else min(max_size, len(positions))
         index = _DominanceIndex()

@@ -46,6 +46,8 @@ __all__ = [
     "WorldsExtended",
     "DtrsSweep",
     "CacheWorldsLookup",
+    "KernelStateBuilt",
+    "KernelBatchScanned",
     "DeadlineTripped",
     "RingGenerated",
     "ReserveChecked",
@@ -74,6 +76,7 @@ __all__ = [
 #: (per-process cache effects) — see the module docstring.
 SCHEDULING_DEPENDENT = (
     "cache.",
+    "kernel.",
     "worlds.built",
     "worlds.enumerated",
 )
@@ -158,6 +161,43 @@ class CacheWorldsLookup:
 
     def record(self, recorder: metrics.Recorder) -> None:
         recorder.count("cache.worlds_hits" if self.hit else "cache.worlds_misses")
+
+
+@dataclass(frozen=True, slots=True)
+class KernelStateBuilt:
+    """A columnar kernel state (slices + HT masks) derived from a cached
+    base world set.  Per-process and cache-keyed, so scheduling-dependent
+    in parallel runs — every ``kernel.`` counter is stripped from the
+    deterministic view."""
+
+    rings: int
+    worlds: int
+    backend: str
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("kernel.states")
+        recorder.count(f"kernel.states.{self.backend}")
+        recorder.count("kernel.state_worlds", self.worlds)
+
+
+@dataclass(frozen=True, slots=True)
+class KernelBatchScanned:
+    """One batched pre-filter over a chunk of same-stratum candidates.
+
+    ``resolved`` counts candidates whose verdict the kernel settled
+    without the per-candidate fallback ("full" verdicts are the
+    remainder).
+    """
+
+    candidates: int
+    resolved: int
+    backend: str
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("kernel.batches")
+        recorder.count("kernel.candidates", self.candidates)
+        recorder.count("kernel.resolved", self.resolved)
+        recorder.observe("kernel.batch_size", self.candidates)
 
 
 @dataclass(frozen=True, slots=True)

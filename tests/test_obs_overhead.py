@@ -84,13 +84,16 @@ def test_disabled_observability_overhead_under_three_percent():
     # spans, strata and slack are folded into a flat overcount.
     guard_fires = (
         counters["bfs.candidates"]
-        + counters["matcher.built"]
-        + counters["matcher.queries"]
-        + counters["dtrs.sweeps"]
+        + counters.get("matcher.built", 0)
+        + counters.get("matcher.queries", 0)
+        + counters.get("dtrs.sweeps", 0)
         + counters.get("worlds.built", 0)
         + counters.get("worlds.extended", 0)
         + counters.get("cache.worlds_hits", 0)
         + counters.get("cache.worlds_misses", 0)
+        + counters.get("kernel.batches", 0)
+        + counters.get("kernel.states", 0)
+        + counters.get("kernel.candidates", 0)
         + 2_000
     )
     guard_upper = 2 * guard_fires  # headroom for uncounted cheap checks
