@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-nonumpy lint chaos bench-smoke bench docs verify
+.PHONY: test test-nonumpy lint chaos bench-smoke bench docs telemetry-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,4 +36,17 @@ docs:
 	$(PYTHON) tools/check_docs.py
 	$(PYTHON) -m pytest tests/test_doctests.py -q
 
-verify: test test-nonumpy chaos bench-smoke docs
+# Telemetry gate: the telemetry test suites, one live stdio round trip
+# through `serve` asserting the metrics op and the drain summary, and
+# the bench-trend regression check against the committed artifacts.
+telemetry-smoke:
+	$(PYTHON) -m pytest tests/test_obs_telemetry.py tests/test_service_telemetry.py tests/test_bench_trend.py -q
+	printf '%s\n%s\n%s\n' \
+		'{"op":"select","id":"r1","target":"t03","c":2.0,"ell":2,"mode":"exact"}' \
+		'{"op":"metrics","id":"m1"}' \
+		'{"op":"shutdown","id":"x1"}' \
+		| $(PYTHON) -m repro.cli serve 2>/dev/null \
+		| grep -q 'repro_service_requests_total 1'
+	$(PYTHON) tools/bench_trend.py --check
+
+verify: test test-nonumpy chaos bench-smoke telemetry-smoke docs

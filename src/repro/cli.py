@@ -9,13 +9,17 @@ Usage::
     python -m repro.cli select --rings 4 --budget 5 --checkpoint cp.json
     python -m repro.cli serve --socket /tmp/repro.sock
     python -m repro.cli client --socket /tmp/repro.sock --target t03
+    python -m repro.cli client --socket /tmp/repro.sock --stats
+    python -m repro.cli top --socket /tmp/repro.sock
 
 Each figure command prints the same table its benchmark writes; the
 ``sim`` command runs the longitudinal economy simulation; ``select``
 generates sequential rings through the resilience ladder
 (:mod:`repro.resilience`); ``serve`` runs the long-lived selection
-daemon (:mod:`repro.service`, JSONL over stdio or a unix socket) and
-``client`` submits requests to it.
+daemon (:mod:`repro.service`, JSONL over stdio or a unix socket),
+``client`` submits requests to it (``--stats``/``--watch`` pretty-print
+the telemetry payload), and ``top`` is a live terminal view polling a
+running daemon's stats and health probes.
 
 Every command also accepts the observability flags ``--metrics`` (print
 a counter/histogram summary after the run), ``--trace-out PATH`` (dump
@@ -246,6 +250,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         default_budget=args.budget,
         workers=args.workers,
         fault_plan=fault_doc,
+        telemetry=not args.no_telemetry,
     )
     with SelectionService(universe, config=config) as service:
         if args.socket is not None:
@@ -256,11 +261,14 @@ def _run_serve(args: argparse.Namespace) -> int:
             served = serve_stdio(service, sys.stdin, sys.stdout)
             print(f"served {served} request line(s)", file=sys.stderr)
         stats = service.stats()
+        summary = service.drain_summary()
     print(
         f"final epoch {stats['epoch']}, {stats['rings']} ring(s), "
         f"{stats['refused']} refused of {stats['offered']} offered",
         file=sys.stderr,
     )
+    if summary is not None:
+        print(summary, file=sys.stderr)
     return 0
 
 
@@ -271,6 +279,26 @@ def _run_client(args: argparse.Namespace) -> int:
     from .service import ServiceClient
 
     with ServiceClient(args.socket, timeout=args.timeout) as client:
+        if args.stats or args.watch is not None:
+            import time
+
+            from .service.telemetry import format_stats
+
+            polls = 0
+            try:
+                while True:
+                    if polls:
+                        print()
+                    print(format_stats(client.stats()))
+                    polls += 1
+                    if args.iterations is not None and polls >= args.iterations:
+                        break
+                    if args.watch is None:
+                        break
+                    time.sleep(args.watch)
+            except KeyboardInterrupt:
+                pass
+            return 0
         if args.requests is not None:
             from .service.protocol import decode
 
@@ -309,6 +337,29 @@ def _run_client(args: argparse.Namespace) -> int:
                 if response.code == "constraint_violation"
                 else 1
             )
+    return 0
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a running daemon (stats + health polls)."""
+    import time
+
+    from .service import ServiceClient
+    from .service.telemetry import format_top
+
+    with ServiceClient(args.socket, timeout=args.timeout) as client:
+        polls = 0
+        try:
+            while True:
+                if polls:
+                    print()
+                print(format_top(client.stats(), client.health()))
+                polls += 1
+                if args.iterations is not None and polls >= args.iterations:
+                    break
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -415,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-request exact-search budget (s)")
     serve.add_argument("--workers", type=int, default=0,
                        help="process fan-out per request's candidate scan")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the request-lifecycle telemetry "
+                            "(stats stays the flat counter payload; "
+                            "metrics/health degrade gracefully)")
 
     client = sub.add_parser(
         "client",
@@ -436,6 +491,26 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--commit", action="store_true",
                         help="commit the selected ring (advances the epoch)")
     client.add_argument("--timeout", type=float, default=60.0)
+    client.add_argument("--stats", action="store_true",
+                        help="pretty-print the enriched stats payload "
+                             "instead of submitting a request")
+    client.add_argument("--watch", type=float, metavar="SECONDS",
+                        default=None,
+                        help="re-poll stats every SECONDS (implies --stats)")
+    client.add_argument("--iterations", type=int, default=None,
+                        help="stop a --watch loop after N polls "
+                             "(default: poll until interrupted)")
+
+    top = sub.add_parser(
+        "top",
+        help="live stats/health view of a running `serve --socket` daemon",
+    )
+    top.add_argument("--socket", metavar="PATH", required=True)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N polls (default: until interrupted)")
+    top.add_argument("--timeout", type=float, default=60.0)
 
     return parser
 
@@ -453,6 +528,8 @@ def _dispatch(args: argparse.Namespace) -> int | None:
         return _run_serve(args)
     elif args.command == "client":
         return _run_client(args)
+    elif args.command == "top":
+        return _run_top(args)
     else:
         _run_sweep(args.command, args)
     return None

@@ -9,22 +9,31 @@ Three layers, all defaulting to off with near-zero disabled overhead:
 * :mod:`repro.obs.events` — the typed solver progress vocabulary and
   the deterministic worker-merge protocol;
 * :mod:`repro.obs.clock` — injectable clocks for deterministic
-  simulation timestamps.
+  simulation timestamps;
+* :mod:`repro.obs.telemetry` — deterministic fixed-bucket latency
+  histograms with exact quantiles, rolling-window rate counters, and
+  Prometheus text exposition for the service layer.
 
 See DESIGN.md §9 for the architecture and the equivalence contract
 (recording on/off never changes solver outputs).
 """
 
-from . import clock, events, metrics, trace
+from . import clock, events, metrics, telemetry, trace
 from .clock import Clock, ManualClock
 from .metrics import MemoryRecorder, Recorder, recording
+from .telemetry import FanoutRecorder, FixedBucketHistogram, RollingCounter, Telemetry
 from .trace import Span, Tracer, span, tracing
 
 __all__ = [
     "clock",
     "events",
     "metrics",
+    "telemetry",
     "trace",
+    "FanoutRecorder",
+    "FixedBucketHistogram",
+    "RollingCounter",
+    "Telemetry",
     "Clock",
     "ManualClock",
     "MemoryRecorder",

@@ -56,6 +56,7 @@ __all__ = [
     "FaultInjected",
     "DegradationStepped",
     "LadderFailClosed",
+    "RungServed",
     "WorkerRetry",
     "WorkerChunkLost",
     "CheckpointSaved",
@@ -304,6 +305,18 @@ class LadderFailClosed:
 
     def record(self, recorder: metrics.Recorder) -> None:
         recorder.count("resilience.fail_closed")
+
+
+@dataclass(frozen=True, slots=True)
+class RungServed:
+    """The ladder produced a verified ring at ``rung``."""
+
+    rung: str
+    degraded: bool
+
+    def record(self, recorder: metrics.Recorder) -> None:
+        recorder.count("resilience.rung_served")
+        recorder.count(f"resilience.rung_served.{self.rung}")
 
 
 @dataclass(frozen=True, slots=True)

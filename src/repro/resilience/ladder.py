@@ -262,6 +262,10 @@ def ladder_select(
                 if span is not None:
                     span.attrs["rung"] = rung
                     span.attrs["degraded"] = outcome.degraded
+                if events.enabled():
+                    events.emit(
+                        events.RungServed(rung=rung, degraded=outcome.degraded)
+                    )
                 return outcome
             if rung != rungs[-1]:
                 next_rung = rungs[position + 1]

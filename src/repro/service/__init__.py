@@ -37,6 +37,7 @@ from .protocol import (
 )
 from .server import serve_socket, serve_stdio
 from .state import ChainSnapshot, ServiceState
+from .telemetry import ServiceTelemetry
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -52,6 +53,7 @@ __all__ = [
     "ServiceConfig",
     "PendingResult",
     "SelectionService",
+    "ServiceTelemetry",
     "ServiceClient",
     "serve_stdio",
     "serve_socket",

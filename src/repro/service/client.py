@@ -106,8 +106,16 @@ class ServiceClient:
         return self.request({"op": "epoch", "id": self._autoid("c")})
 
     def stats(self) -> dict:
-        """The service's counter snapshot."""
+        """The service's counter snapshot (plus telemetry, when enabled)."""
         return self.request({"op": "stats", "id": self._autoid("c")})
+
+    def metrics(self) -> str:
+        """The telemetry registry as Prometheus text exposition."""
+        return str(self.request({"op": "metrics", "id": self._autoid("c")})["body"])
+
+    def health(self) -> dict:
+        """The ready/degraded/draining probe payload."""
+        return self.request({"op": "health", "id": self._autoid("c")})
 
     def shutdown(self) -> dict:
         """Ask the daemon to drain and stop."""

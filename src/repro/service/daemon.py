@@ -54,6 +54,8 @@ from ..core.perf.parallel import WorkerLost
 from ..core.problem import InfeasibleError
 from ..core.ring import Ring, TokenUniverse
 from ..obs import events, metrics, trace
+from ..obs.clock import Clock
+from ..obs.telemetry import FanoutRecorder
 from ..resilience import faults
 from ..resilience.ladder import ConstraintViolation, ladder_select
 from .batching import EPOCH_ANY, AdmissionQueue, Batch
@@ -69,6 +71,7 @@ from .protocol import (
     SelectResponse,
 )
 from .state import ChainSnapshot, ServiceState
+from .telemetry import ServiceTelemetry
 
 __all__ = ["ServiceConfig", "PendingResult", "SelectionService"]
 
@@ -90,6 +93,12 @@ class ServiceConfig:
         fault_plan: a fault-plan document applied to *every* request
             (a fresh :class:`~repro.resilience.faults.FaultPlan`
             instance per request); request-level plans override it.
+        telemetry: run the request-lifecycle instrument
+            (:class:`~repro.service.telemetry.ServiceTelemetry`) —
+            on by default; responses are byte-identical either way.
+        clock: seconds source for the telemetry lifecycle marks
+            (``None`` = ``time.monotonic``); tests inject a
+            :class:`~repro.obs.clock.ManualClock` for exact quantiles.
     """
 
     max_queue: int = 256
@@ -98,6 +107,8 @@ class ServiceConfig:
     default_budget: float | None = None
     workers: int = 0
     fault_plan: Mapping | None = None
+    telemetry: bool = True
+    clock: Clock | None = None
 
 
 @dataclass(slots=True)
@@ -105,6 +116,7 @@ class PendingResult:
     """A slot the worker fills; ``wait`` blocks the submitting thread."""
 
     request: SelectRequest
+    admitted_at: float | None = None
     _done: threading.Event = field(default_factory=threading.Event)
     _response: SelectResponse | None = None
 
@@ -160,6 +172,11 @@ class SelectionService:
         self._stopping = threading.Event()
         self._counters_lock = threading.Lock()
         self.counters: dict[str, int] = {}
+        self.telemetry: ServiceTelemetry | None = (
+            ServiceTelemetry(clock=self.config.clock)
+            if self.config.telemetry
+            else None
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -202,7 +219,10 @@ class SelectionService:
             ell=ell,
             seq=seq,
         )
-        return self.state.commit(ring)
+        snapshot = self.state.commit(ring)
+        if self.telemetry is not None:
+            self.telemetry.epoch_advanced(snapshot.epoch, len(snapshot.rings))
+        return snapshot
 
     @property
     def epoch(self) -> int:
@@ -220,10 +240,14 @@ class SelectionService:
         pending = PendingResult(request=request)
         epoch_key = EPOCH_ANY if request.epoch is None else request.epoch
         if self.queue.offer(pending, epoch_key):
+            if self.telemetry is not None:
+                pending.admitted_at = self.telemetry.admitted(self.queue.depth())
             if events.enabled():
                 events.emit(events.RequestAdmitted(queue_depth=self.queue.depth()))
         else:
             self._bump(f"rejected.{REJECT_QUEUE_FULL}")
+            if self.telemetry is not None:
+                self.telemetry.admission_rejected(REJECT_QUEUE_FULL)
             if events.enabled():
                 events.emit(events.RequestRejected(code=REJECT_QUEUE_FULL))
             pending.resolve(
@@ -247,19 +271,78 @@ class SelectionService:
         return self.submit(request).wait(timeout)
 
     def stats(self) -> dict:
-        """A JSON-ready counter snapshot (the ``stats`` op's payload)."""
+        """A JSON-ready snapshot (the ``stats`` op's payload).
+
+        A backward-compatible superset of the PR-5 counter dump: the
+        flat keys are unchanged, and with telemetry enabled the
+        payload also carries ``telemetry`` (latency histograms with
+        exact window quantiles, rolling rates, gauges, captured solver
+        counters) and ``resilience`` (ladder rungs taken,
+        supervised-scan retries, injected faults — the counters that
+        previously only reached bench artifacts).
+        """
         with self._counters_lock:
             counters = dict(sorted(self.counters.items()))
-        return {
+        queue_depth = self.queue.depth()
+        payload = {
             "epoch": self.state.epoch,
             "rings": len(self.state.current().rings),
-            "queue_depth": self.queue.depth(),
+            "queue_depth": queue_depth,
             "offered": self.queue.offered,
             "refused": self.queue.refused,
             "epochs_advanced": self.state.epochs_advanced,
             "caches_invalidated": self.state.caches_invalidated,
             "counters": counters,
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.snapshot(queue_depth)
+            payload["resilience"] = self.telemetry.resilience_counters()
+        return payload
+
+    def health(self) -> dict:
+        """The ``health`` op's payload: ready/degraded/draining.
+
+        Draining reflects a closed admission queue (shutdown started,
+        queued work still being served).  Degraded semantics come from
+        the telemetry window — see
+        :meth:`repro.service.telemetry.ServiceTelemetry.health`;
+        without telemetry only ready/draining can be distinguished.
+        """
+        draining = self.queue.closed
+        queue_depth = self.queue.depth()
+        if self.telemetry is None:
+            status = "draining" if draining else "ready"
+            return {
+                "health": status,
+                "reasons": [],
+                "queue_depth": queue_depth,
+                "max_queue": self.queue.max_depth,
+            }
+        return self.telemetry.health(
+            queue_depth=queue_depth,
+            max_queue=self.queue.max_depth,
+            draining=draining,
+        )
+
+    def metrics_text(self) -> str:
+        """The ``metrics`` op's body: Prometheus text exposition."""
+        with self._counters_lock:
+            counters = dict(sorted(self.counters.items()))
+        if self.telemetry is None:
+            from ..obs.telemetry import render_prometheus
+
+            return render_prometheus(
+                {}, prefix="repro_service", extra_counters=counters
+            )
+        return self.telemetry.prometheus(
+            queue_depth=self.queue.depth(), service_counters=counters
+        )
+
+    def drain_summary(self) -> str | None:
+        """A one-line telemetry summary for shutdown reporting."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.drain_summary()
 
     # -- the worker loop -----------------------------------------------------
 
@@ -275,26 +358,52 @@ class SelectionService:
     def _execute_batch(self, batch: Batch[PendingResult]) -> None:
         snapshot = self.state.current()
         warm = snapshot.cache_built
-        with trace.span(
-            "service.batch",
-            batch_id=batch.batch_id,
-            size=len(batch),
-            epoch=snapshot.epoch,
-        ):
-            if events.enabled():
-                events.emit(
-                    events.BatchExecuted(size=len(batch), epoch=snapshot.epoch)
-                )
-            rec = metrics.active()
-            if rec is not None:
-                rec.observe("service.batch_size", len(batch))
-                rec.gauge("service.queue_depth", self.queue.depth())
-            self._bump("batches")
-            for pending in batch.items:
-                pending.resolve(
-                    self._serve_one(pending.request, snapshot, batch, warm)
-                )
-                warm = True  # the first request of a cold epoch warms it
+        telemetry = self.telemetry
+        # Tee solver/resilience events into the service's own recorder
+        # for the duration of the batch, *alongside* whatever recorder
+        # the CLI installed — this is how ladder rungs, retries and
+        # injected faults reach the `stats` op.  Only the single worker
+        # thread swaps the slot, and it restores the previous recorder
+        # before the batch's last response resolves a submitter.
+        previous = metrics.active()
+        if telemetry is not None:
+            metrics.set_recorder(FanoutRecorder(previous, telemetry.solver))
+        try:
+            with trace.span(
+                "service.batch",
+                batch_id=batch.batch_id,
+                size=len(batch),
+                epoch=snapshot.epoch,
+            ):
+                if telemetry is not None:
+                    telemetry.batch_started(len(batch), snapshot.epoch)
+                if events.enabled():
+                    events.emit(
+                        events.BatchExecuted(size=len(batch), epoch=snapshot.epoch)
+                    )
+                rec = metrics.active()
+                if rec is not None:
+                    rec.observe("service.batch_size", len(batch))
+                    rec.gauge("service.queue_depth", self.queue.depth())
+                self._bump("batches")
+                for pending in batch.items:
+                    if telemetry is not None:
+                        started_at = telemetry.request_started(pending.admitted_at)
+                    response = self._serve_one(
+                        pending.request, snapshot, batch, warm
+                    )
+                    if telemetry is not None:
+                        # Every lifecycle mark lands before the slot
+                        # resolves, so a serialized submitter always
+                        # observes a completed request span.
+                        telemetry.request_finished(
+                            response, pending.admitted_at, started_at
+                        )
+                    pending.resolve(response)
+                    warm = True  # the first request of a cold epoch warms it
+        finally:
+            if telemetry is not None:
+                metrics.set_recorder(previous)
 
     def _serve_one(
         self,

@@ -13,7 +13,12 @@ Ops (the closed vocabulary of :data:`KNOWN_OPS`):
 ``commit``    append an accepted ring to the chain snapshot — advances the
               epoch and invalidates warm caches
 ``epoch``     report the current epoch / ring count / queue depth
-``stats``     dump the service counters
+``stats``     dump the service counters, telemetry histograms/gauges and
+              resilience counters
+``metrics``   render the telemetry registry as Prometheus text
+              exposition (``body`` + ``content_type`` in the response)
+``health``    ready/degraded/draining probe wired to the resilience
+              ladder and admission queue
 ``shutdown``  drain and stop the service loop
 ============  ==============================================================
 
@@ -58,7 +63,7 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-KNOWN_OPS = ("select", "commit", "epoch", "stats", "shutdown")
+KNOWN_OPS = ("select", "commit", "epoch", "stats", "metrics", "health", "shutdown")
 
 #: ``exact`` runs only :func:`repro.core.bfs.bfs_select` (a budget trip
 #: is a typed error); ``ladder`` degrades through

@@ -20,6 +20,7 @@ import socket
 import threading
 from typing import IO, Iterator
 
+from ..obs.telemetry import PROMETHEUS_CONTENT_TYPE
 from .daemon import SelectionService
 from .protocol import (
     KNOWN_OPS,
@@ -79,6 +80,19 @@ def handle_line(service: SelectionService, line: str) -> tuple[str, bool]:
         if op == "stats":
             return encode(
                 {"id": payload.get("id"), "status": "ok", **service.stats()}
+            ), True
+        if op == "metrics":
+            return encode(
+                {
+                    "id": payload.get("id"),
+                    "status": "ok",
+                    "content_type": PROMETHEUS_CONTENT_TYPE,
+                    "body": service.metrics_text(),
+                }
+            ), True
+        if op == "health":
+            return encode(
+                {"id": payload.get("id"), "status": "ok", **service.health()}
             ), True
         # op == "shutdown"
         return encode(

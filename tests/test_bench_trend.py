@@ -1,0 +1,190 @@
+"""tools/bench_trend.py: record/report/check over BENCH_*.json history.
+
+The committed ``benchmarks/results/TREND.jsonl`` must always agree
+with the committed artifacts (that is what CI checks on every PR), and
+the regression math must actually fail when a headline regresses.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "bench_trend.py"
+
+_spec = importlib.util.spec_from_file_location("bench_trend", TOOL)
+bench_trend = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_trend", bench_trend)
+_spec.loader.exec_module(bench_trend)
+
+
+def write_artifacts(
+    results: Path,
+    bfs_speedup: float,
+    service_speedup: float,
+    bfs_workload: dict | None = None,
+):
+    results.mkdir(parents=True, exist_ok=True)
+    bfs_doc = {
+        "headline": {
+            "speedup": bfs_speedup,
+            "optimized_seconds": 10.0 / bfs_speedup,
+            "ring_index": 6,
+        }
+    }
+    if bfs_workload is not None:
+        bfs_doc["workload"] = bfs_workload
+    (results / "BENCH_bfs.json").write_text(json.dumps(bfs_doc))
+    (results / "BENCH_service.json").write_text(
+        json.dumps({"speedup": service_speedup})
+    )
+
+
+def test_current_metrics_reads_registered_headlines(tmp_path):
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    values = bench_trend.current_metrics(tmp_path)
+    assert values == {
+        "bfs.speedup": 100.0,
+        "bfs.optimized_seconds": 0.1,
+        "bfs.ring_index": 6.0,
+        "service.speedup": 4.0,
+    }
+
+
+def test_missing_artifacts_are_skipped_not_errors(tmp_path):
+    assert bench_trend.current_metrics(tmp_path) == {}
+
+
+def test_record_then_check_round_trips(tmp_path, capsys):
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    assert bench_trend.main(["--results", str(tmp_path), "--record", "v1"]) == 0
+    trend = tmp_path / "TREND.jsonl"
+    entries = [json.loads(line) for line in trend.read_text().splitlines()]
+    assert [entry["label"] for entry in entries] == ["v1"]
+    # Unchanged artifacts pass the check.
+    assert bench_trend.main(["--results", str(tmp_path), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "REGRESSED" not in out
+
+
+def test_check_fails_on_a_regression_beyond_threshold(tmp_path, capsys):
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    bench_trend.main(["--results", str(tmp_path), "--record", "v1"])
+    # bfs.speedup collapses by 50%: well past the 10% default threshold.
+    write_artifacts(tmp_path, bfs_speedup=50.0, service_speedup=4.0)
+    assert bench_trend.main(["--results", str(tmp_path), "--check"]) == 1
+    out = capsys.readouterr().out
+    assert "bfs.speedup" in out and "REGRESSED" in out
+    # A permissive threshold lets the same numbers through (the fixture
+    # also doubles optimized_seconds, a -100% lower-is-better change).
+    assert bench_trend.main(
+        ["--results", str(tmp_path), "--check", "--threshold", "150"]
+    ) == 0
+
+
+def test_lower_is_better_metrics_regress_upward(tmp_path):
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    bench_trend.main(["--results", str(tmp_path), "--record", "v1"])
+    # Same speedup, but the absolute optimized time got 5x slower.
+    (tmp_path / "BENCH_bfs.json").write_text(
+        json.dumps(
+            {
+                "headline": {
+                    "speedup": 100.0,
+                    "optimized_seconds": 0.5,
+                    "ring_index": 6,
+                }
+            }
+        )
+    )
+    assert bench_trend.main(["--results", str(tmp_path), "--check"]) == 1
+
+
+def test_improvements_never_fail_the_check(tmp_path):
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    bench_trend.main(["--results", str(tmp_path), "--record", "v1"])
+    write_artifacts(tmp_path, bfs_speedup=400.0, service_speedup=9.0)
+    assert bench_trend.main(["--results", str(tmp_path), "--check"]) == 0
+
+
+def test_check_skips_metrics_whose_workload_changed(tmp_path, capsys):
+    """A capped smoke run must not read as a regression of the full bench."""
+    full = {"ref_budget_s": 90.0, "seed": 3}
+    write_artifacts(
+        tmp_path, bfs_speedup=200.0, service_speedup=4.0, bfs_workload=full
+    )
+    bench_trend.main(["--results", str(tmp_path), "--record", "full"])
+    entries = [
+        json.loads(line)
+        for line in (tmp_path / "TREND.jsonl").read_text().splitlines()
+    ]
+    assert entries[0]["workloads"]["BENCH_bfs.json"] == full
+    # Now a smoke run: far lower speedup, but a different fingerprint.
+    write_artifacts(
+        tmp_path,
+        bfs_speedup=50.0,
+        service_speedup=4.0,
+        bfs_workload={"ref_budget_s": 15.0, "seed": 3},
+    )
+    capsys.readouterr()
+    assert bench_trend.main(["--results", str(tmp_path), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "bfs.speedup: skipped (workload changed" in out
+    # The service artifact (fingerprint untouched) is still compared.
+    assert "service.speedup" in out and "REGRESSED" not in out
+    # Same fingerprint again -> the comparison is back on and fails.
+    write_artifacts(
+        tmp_path, bfs_speedup=50.0, service_speedup=4.0, bfs_workload=full
+    )
+    assert bench_trend.main(["--results", str(tmp_path), "--check"]) == 1
+
+
+def test_entries_without_workloads_compare_against_everything(tmp_path):
+    """Pre-fingerprint history entries stay comparable (wildcard)."""
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    bench_trend.main(["--results", str(tmp_path), "--record", "old"])
+    write_artifacts(
+        tmp_path,
+        bfs_speedup=50.0,
+        service_speedup=4.0,
+        bfs_workload={"ref_budget_s": 15.0},
+    )
+    assert bench_trend.main(["--results", str(tmp_path), "--check"]) == 1
+
+
+def test_check_with_no_history_passes(tmp_path):
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    assert bench_trend.main(["--results", str(tmp_path), "--check"]) == 0
+
+
+def test_report_renders_history_and_now_columns(tmp_path, capsys):
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    bench_trend.main(["--results", str(tmp_path), "--record", "v1"])
+    capsys.readouterr()
+    assert bench_trend.main(["--results", str(tmp_path), "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "v1" in out and "now" in out
+    assert "bfs.speedup" in out and "service.speedup" in out
+
+
+def test_malformed_history_is_a_clear_error(tmp_path):
+    write_artifacts(tmp_path, bfs_speedup=100.0, service_speedup=4.0)
+    (tmp_path / "TREND.jsonl").write_text("{not json}\n")
+    try:
+        bench_trend.main(["--results", str(tmp_path), "--check"])
+    except SystemExit as exc:
+        assert "not valid JSON" in str(exc)
+    else:
+        raise AssertionError("expected SystemExit on malformed history")
+
+
+def test_committed_trend_agrees_with_committed_artifacts(capsys):
+    """The repo invariant CI enforces: a fresh checkout always passes."""
+    results = REPO / "benchmarks" / "results"
+    assert (results / "TREND.jsonl").exists()
+    assert bench_trend.main(["--results", str(results), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "REGRESSED" not in out

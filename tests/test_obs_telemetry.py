@@ -1,0 +1,192 @@
+"""The telemetry primitives: exact quantiles, bounded windows, rolling
+rates and Prometheus rendering — all deterministic (no clock reads
+inside :mod:`repro.obs.telemetry`; every timestamped op takes an
+explicit ``now``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MemoryRecorder
+from repro.obs.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    FanoutRecorder,
+    FixedBucketHistogram,
+    RollingCounter,
+    Telemetry,
+    format_bound,
+    render_prometheus,
+)
+
+
+# -- FixedBucketHistogram ----------------------------------------------------
+
+
+def test_quantiles_are_exact_nearest_rank():
+    hist = FixedBucketHistogram()
+    for value in range(1, 101):
+        hist.observe(float(value))
+    assert hist.quantile(0.50) == 50.0
+    assert hist.quantile(0.95) == 95.0
+    assert hist.quantile(0.99) == 99.0
+    assert hist.quantile(1.00) == 100.0
+
+
+def test_quantile_of_empty_histogram_is_none():
+    assert FixedBucketHistogram().quantile(0.5) is None
+
+
+def test_quantile_rejects_out_of_range_q():
+    hist = FixedBucketHistogram()
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.quantile(0.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_bounds_must_be_strictly_increasing():
+    with pytest.raises(ValueError):
+        FixedBucketHistogram(bounds=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        FixedBucketHistogram(bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        FixedBucketHistogram(bounds=())
+
+
+def test_buckets_are_cumulative_with_inf_tail():
+    hist = FixedBucketHistogram(bounds=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["buckets"][format_bound(0.01)] == 1
+    assert snap["buckets"][format_bound(0.1)] == 2
+    assert snap["buckets"][format_bound(1.0)] == 3
+    assert snap["buckets"]["+Inf"] == 4
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(5.555)
+    assert snap["min"] == 0.005
+    assert snap["max"] == 5.0
+
+
+def test_quantile_window_is_bounded_but_totals_are_not():
+    hist = FixedBucketHistogram(window=4)
+    for value in (100.0, 1.0, 2.0, 3.0, 4.0):
+        hist.observe(value)
+    # 100.0 fell out of the quantile window, not out of the totals.
+    assert hist.window_len == 4
+    assert hist.quantile(1.0) == 4.0
+    assert hist.count == 5
+    assert hist.max == 100.0
+
+
+def test_default_buckets_cover_sub_millisecond_to_a_minute():
+    assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+    assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+# -- RollingCounter ----------------------------------------------------------
+
+
+def test_rolling_counter_prunes_outside_the_window():
+    counter = RollingCounter(window_s=10.0)
+    counter.add(0.0)
+    counter.add(5.0, value=2)
+    counter.add(12.0)
+    assert counter.total == 4
+    assert counter.in_window(12.0) == 3  # the t=0 hit aged out
+    assert counter.rate(12.0) == pytest.approx(0.3)
+    # Pruning follows the (monotonic) clock forward.
+    assert counter.in_window(23.0) == 0
+    assert counter.total == 4
+
+
+# -- Telemetry registry ------------------------------------------------------
+
+
+def test_snapshot_is_deterministic_and_sorted():
+    tele = Telemetry()
+    tele.observe("b_hist", 0.5)
+    tele.observe("a_hist", 0.25)
+    tele.count("zeta", now=1.0)
+    tele.count("alpha", now=2.0, value=3)
+    tele.gauge("depth", 7)
+    snap = tele.snapshot(now=3.0)
+    assert list(snap["histograms"]) == ["a_hist", "b_hist"]
+    assert list(snap["counters"]) == ["alpha", "zeta"]
+    assert snap["counters"]["alpha"] == {
+        "total": 3,
+        "in_window": 3,
+        "rate_per_s": 3 / tele.rate_window_s,
+    }
+    assert snap["gauges"] == {"depth": 7}
+    assert snap == tele.snapshot(now=3.0)
+
+
+def test_read_accessors_never_create_registry_entries():
+    tele = Telemetry()
+    assert tele.counter_total("missing") == 0
+    assert tele.counter_in_window("missing", now=0.0) == 0
+    assert tele.quantile("missing", 0.5) is None
+    snap = tele.snapshot(now=0.0)
+    assert snap["counters"] == {}
+    assert snap["histograms"] == {}
+
+
+def test_totals_filters_by_prefix():
+    tele = Telemetry()
+    tele.count("rung.exact", now=0.0, value=2)
+    tele.count("rung.relaxation", now=0.0)
+    tele.count("requests", now=0.0)
+    assert tele.totals("rung.") == {"rung.exact": 2, "rung.relaxation": 1}
+
+
+# -- FanoutRecorder ----------------------------------------------------------
+
+
+def test_fanout_forwards_to_every_sink_and_skips_none():
+    first, second = MemoryRecorder(), MemoryRecorder()
+    fan = FanoutRecorder(first, None, second)
+    fan.count("hits", 2)
+    fan.gauge("depth", 3)
+    fan.observe("lat", 0.5)
+    for sink in (first, second):
+        assert sink.counters["hits"] == 2
+        assert sink.gauges["depth"] == 3
+        assert sink.histograms["lat"]["count"] == 1
+        assert sink.histograms["lat"]["sum"] == 0.5
+
+
+# -- Prometheus rendering ----------------------------------------------------
+
+
+def test_render_prometheus_exposition_shape():
+    tele = Telemetry()
+    tele.histogram("request_s", bounds=(0.1, 1.0)).observe(0.5)
+    tele.count("requests", now=0.0)
+    tele.gauge("queue_depth", 4)
+    text = render_prometheus(tele.snapshot(now=0.0), prefix="repro_service")
+    assert text.endswith("\n")
+    assert "# TYPE repro_service_request_s histogram" in text
+    assert 'repro_service_request_s_bucket{le="0.1"} 0' in text
+    assert 'repro_service_request_s_bucket{le="1.0"} 1' in text
+    assert 'repro_service_request_s_bucket{le="+Inf"} 1' in text
+    assert "repro_service_request_s_sum 0.5" in text
+    assert "repro_service_request_s_count 1" in text
+    assert "repro_service_request_s_p99 0.5" in text
+    assert "# TYPE repro_service_requests_total counter" in text
+    assert "repro_service_requests_total 1" in text
+    assert "repro_service_queue_depth 4" in text
+
+
+def test_render_prometheus_sanitizes_names_and_takes_extra_counters():
+    tele = Telemetry()
+    tele.count("status.ok", now=0.0)
+    text = render_prometheus(
+        tele.snapshot(now=0.0),
+        prefix="repro",
+        extra_counters={"memo.hits": 5},
+    )
+    assert "repro_status_ok_total 1" in text
+    assert "repro_memo_hits_total 5" in text
