@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-nonumpy lint chaos bench-smoke bench docs telemetry-smoke verify
+.PHONY: test test-nonumpy lint chaos bench-smoke bench docs telemetry-smoke shard-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,8 +22,19 @@ chaos:
 bench-smoke:
 	REPRO_BENCH_REF_BUDGET=15 REPRO_BENCH_REF_TOTAL=30 $(PYTHON) -m pytest benchmarks/test_bench_bfs_perf.py -q -s
 
+# bench_shard.py is a plain script (no test_ prefix, so the pytest
+# glob skips it): the full shard grid runs after the pytest benches.
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -s
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_shard.py
+
+# Sharded-service gate: the router/partition test suite plus a capped
+# run of the shard benchmark (1 and 4 shard columns, its own workload
+# fingerprint so the trend check skips it) proving byte-identical
+# responses and that retention still beats the single daemon.
+shard-smoke:
+	$(PYTHON) -m pytest tests/test_service_shard.py -q
+	REPRO_BENCH_SHARD_SMOKE=1 PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_shard.py
 
 # Tier-1 with the numpy-free kernel backend: proves the optional perf
 # extra never becomes load-bearing (CI runs the same split).
@@ -49,4 +60,4 @@ telemetry-smoke:
 		| grep -q 'repro_service_requests_total 1'
 	$(PYTHON) tools/bench_trend.py --check
 
-verify: test test-nonumpy chaos bench-smoke telemetry-smoke docs
+verify: test test-nonumpy chaos bench-smoke shard-smoke telemetry-smoke docs

@@ -235,24 +235,53 @@ def _run_serve(args: argparse.Namespace) -> int:
     response line (see ``docs/operations.md`` for the op vocabulary).
     """
     from .resilience.faults import FaultPlan
-    from .service import SelectionService, ServiceConfig, serve_socket, serve_stdio
+    from .service import (
+        RouterConfig,
+        SelectionService,
+        ServiceConfig,
+        ShardRouter,
+        serve_socket,
+        serve_stdio,
+    )
 
     fault_doc = None
     if args.fault_plan is not None:
         # Applied per request (fresh plan instance each time) rather
         # than installed process-globally like the one-shot commands.
+        # Under --shards the document instead installs in every shard
+        # worker (that is how chaos reaches the shard.batch site).
         fault_doc = FaultPlan.load(args.fault_plan).to_dict()
     universe = _synthetic_universe(args.tokens, args.hts, args.seed)
-    config = ServiceConfig(
-        max_queue=args.max_queue,
-        max_batch=args.max_batch,
-        linger_s=args.batch_wait,
-        default_budget=args.budget,
-        workers=args.workers,
-        fault_plan=fault_doc,
-        telemetry=not args.no_telemetry,
-    )
-    with SelectionService(universe, config=config) as service:
+    if args.shards >= 2:
+        service_factory = lambda: ShardRouter(  # noqa: E731
+            universe,
+            config=RouterConfig(
+                shards=args.shards,
+                batches=args.batches,
+                max_queue=args.max_queue,
+                max_batch=args.max_batch,
+                linger_s=args.batch_wait,
+                default_budget=args.budget,
+                workers=args.workers,
+                fault_plan=fault_doc,
+                telemetry=not args.no_telemetry,
+            ),
+        )
+    else:
+        config = ServiceConfig(
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            linger_s=args.batch_wait,
+            default_budget=args.budget,
+            workers=args.workers,
+            fault_plan=fault_doc,
+            telemetry=not args.no_telemetry,
+            partition=args.batches,
+        )
+        service_factory = lambda: SelectionService(  # noqa: E731
+            universe, config=config
+        )
+    with service_factory() as service:
         if args.socket is not None:
             print(f"listening on {args.socket}", file=sys.stderr)
             served = serve_socket(service, args.socket)
@@ -470,6 +499,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the request-lifecycle telemetry "
                             "(stats stays the flat counter payload; "
                             "metrics/health degrade gracefully)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard worker processes; >= 2 routes requests "
+                            "by their target's TokenMagic batch over a "
+                            "process fleet (see docs/operations.md)")
+    serve.add_argument("--batches", type=int, default=None,
+                       help="TokenMagic batches to partition the universe "
+                            "into (default: unpartitioned single daemon, "
+                            "or one batch per shard under --shards)")
 
     client = sub.add_parser(
         "client",

@@ -334,6 +334,8 @@ def render_prometheus(
     snapshot: Mapping,
     prefix: str = "repro",
     extra_counters: Mapping[str, int] | None = None,
+    labels: Mapping[str, str] | None = None,
+    type_lines: bool = True,
 ) -> str:
     """Render a :meth:`Telemetry.snapshot` as Prometheus text format.
 
@@ -343,36 +345,52 @@ def render_prometheus(
     directly).  Counters become ``_total`` plus a ``_rate`` gauge over
     the snapshot's rolling window.  ``extra_counters`` renders a plain
     name→int mapping (e.g. solver counters) as counter families.
+
+    ``labels`` stamps every sample with a constant label set (the
+    shard-tagged exposition of the sharded service: each worker's body
+    carries ``shard="N"`` and the router concatenates them under the
+    fleet's unlabelled families).  ``type_lines=False`` suppresses the
+    ``# TYPE`` comments — used for all but the first labelled body of
+    one family so a concatenated exposition declares each family once.
     """
     lines: list[str] = []
+    constant = "" if not labels else ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    suffix = f"{{{constant}}}" if constant else ""
+
+    def emit_type(line: str) -> None:
+        if type_lines:
+            lines.append(line)
 
     for name, hist in snapshot.get("histograms", {}).items():
         base = _metric_name(prefix, name)
-        lines.append(f"# TYPE {base} histogram")
+        emit_type(f"# TYPE {base} histogram")
         for bound, cumulative in hist["buckets"].items():
-            lines.append(f'{base}_bucket{{le="{bound}"}} {cumulative}')
-        lines.append(f"{base}_sum {_format_value(hist['sum'])}")
-        lines.append(f"{base}_count {hist['count']}")
+            bucket_labels = f'le="{bound}"' + (f",{constant}" if constant else "")
+            lines.append(f"{base}_bucket{{{bucket_labels}}} {cumulative}")
+        lines.append(f"{base}_sum{suffix} {_format_value(hist['sum'])}")
+        lines.append(f"{base}_count{suffix} {hist['count']}")
         for label in ("p50", "p95", "p99"):
             if hist.get(label) is not None:
-                lines.append(f"# TYPE {base}_{label} gauge")
-                lines.append(f"{base}_{label} {_format_value(hist[label])}")
+                emit_type(f"# TYPE {base}_{label} gauge")
+                lines.append(f"{base}_{label}{suffix} {_format_value(hist[label])}")
 
     for name, counter in snapshot.get("counters", {}).items():
         base = _metric_name(prefix, name)
-        lines.append(f"# TYPE {base}_total counter")
-        lines.append(f"{base}_total {counter['total']}")
-        lines.append(f"# TYPE {base}_rate gauge")
-        lines.append(f"{base}_rate {_format_value(counter['rate_per_s'])}")
+        emit_type(f"# TYPE {base}_total counter")
+        lines.append(f"{base}_total{suffix} {counter['total']}")
+        emit_type(f"# TYPE {base}_rate gauge")
+        lines.append(f"{base}_rate{suffix} {_format_value(counter['rate_per_s'])}")
 
     for name, value in snapshot.get("gauges", {}).items():
         base = _metric_name(prefix, name)
-        lines.append(f"# TYPE {base} gauge")
-        lines.append(f"{base} {_format_value(value)}")
+        emit_type(f"# TYPE {base} gauge")
+        lines.append(f"{base}{suffix} {_format_value(value)}")
 
     for name, value in sorted((extra_counters or {}).items()):
         base = _metric_name(prefix, name)
-        lines.append(f"# TYPE {base}_total counter")
-        lines.append(f"{base}_total {value}")
+        emit_type(f"# TYPE {base}_total counter")
+        lines.append(f"{base}_total{suffix} {value}")
 
     return "\n".join(lines) + "\n"

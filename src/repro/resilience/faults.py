@@ -25,6 +25,9 @@ Sites wired into the pipeline (the closed vocabulary of
 ``cache.worlds``             every base-world cache lookup
 ``chain.load``               every dataset load from disk
 ``chain.clock``              every block-timestamp read (cooperative skew)
+``shard.batch``              start of every shard-worker batch dispatch
+                             (``index`` is the router's global dispatch
+                             sequence, ``attempt`` the retry)
 ============================ ==============================================
 
 Actions:
@@ -82,6 +85,7 @@ KNOWN_SITES = (
     "cache.worlds",
     "chain.load",
     "chain.clock",
+    "shard.batch",
 )
 
 

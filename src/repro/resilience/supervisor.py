@@ -40,6 +40,7 @@ from ..obs import events, metrics, trace
 __all__ = [
     "RetryPolicy",
     "WorkerLost",
+    "supervised_call",
     "supervised_scan",
     "windowed_scan",
     "DEFAULT_HANG_TIMEOUT",
@@ -125,6 +126,79 @@ def supervised_scan(
         sleep=sleep,
         clock=clock,
     )
+
+
+def supervised_call(
+    pool,
+    func: Callable,
+    make_args: Callable[[int], tuple],
+    policy: RetryPolicy,
+    index: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.perf_counter,
+    on_retry: Callable[[int, str], None] | None = None,
+):
+    """One supervised RPC against a process pool.
+
+    The single-call sibling of :func:`windowed_scan`, reused by the
+    shard router for its worker dispatches: submit ``func(*make_args
+    (attempt))`` via ``apply_async``, watch the handle under
+    ``policy``'s sentinel timeout, tighten the deadline to
+    ``death_grace`` the moment a child death is observed on the pool,
+    and requeue with exponential backoff on timeout or a worker-raised
+    exception.  ``make_args`` receives the attempt number so retries
+    can attach recovery context (the router sends a full state sync on
+    attempt > 0 — a respawned worker starts from the original
+    ``initargs`` and must be caught up).
+
+    ``index`` identifies the call in :class:`WorkerLost` /
+    retry events (the router passes its global dispatch sequence, the
+    same value its ``shard.batch`` fault site sees).  ``on_retry`` is
+    called with ``(next_attempt, reason)`` before each backoff sleep.
+
+    Returns the call's result; raises :class:`WorkerLost` after
+    ``policy.max_retries + 1`` failed attempts.
+    """
+    attempt = 0
+    handle = pool.apply_async(func, make_args(attempt))
+    expires = clock() + policy.hang_timeout
+    death_seen = False
+    while True:
+        while not handle.ready():
+            if not death_seen:
+                procs = getattr(pool, "_pool", None) or ()
+                if any(proc.exitcode is not None for proc in procs):
+                    death_seen = True
+                    expires = min(expires, clock() + policy.death_grace)
+            if clock() > expires:
+                break
+            handle.wait(policy.poll_interval)
+        if handle.ready():
+            try:
+                return handle.get()
+            except Exception as exc:
+                reason = f"worker error: {type(exc).__name__}"
+        else:
+            reason = "no answer before timeout"
+        if attempt >= policy.max_retries:
+            if events.enabled():
+                events.emit(
+                    events.WorkerChunkLost(chunk_index=index, attempts=attempt + 1)
+                )
+            raise WorkerLost(
+                f"call {index} lost after {attempt + 1} attempt(s) ({reason})",
+                chunk_index=index,
+                attempts=attempt + 1,
+            )
+        if events.enabled():
+            events.emit(events.WorkerRetry(chunk_index=index, attempt=attempt + 1))
+        if on_retry is not None:
+            on_retry(attempt + 1, reason)
+        sleep(policy.backoff(attempt))
+        attempt += 1
+        handle = pool.apply_async(func, make_args(attempt))
+        expires = clock() + policy.hang_timeout
+        death_seen = False
 
 
 def windowed_scan(

@@ -13,8 +13,14 @@ through a long-lived daemon instead of one-shot CLI invocations:
   micro-batching;
 * :mod:`repro.service.daemon` — :class:`SelectionService`, the worker
   loop tying it together;
+* :mod:`repro.service.partition` — the TokenMagic batch partition as a
+  deterministic service-level shard key;
+* :mod:`repro.service.router` — :class:`ShardRouter`, batch-keyed
+  routing of requests over shard worker processes, each keeping its
+  owned batches' warm caches across commits that touch other batches;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — stdio
-  and unix-socket front-ends plus the matching client.
+  and unix-socket front-ends plus the matching client (both serve a
+  single daemon or a shard router behind the same ops).
 
 The service changes *when* work happens, never *what* is selected:
 ``tests/test_service_equivalence.py`` pins every answer byte-identical
@@ -26,7 +32,8 @@ sequential-cold throughput in ``benchmarks/results/BENCH_service.json``.
 
 from .batching import AdmissionQueue, Batch
 from .client import ServiceClient
-from .daemon import PendingResult, SelectionService, ServiceConfig
+from .daemon import PendingResult, SelectionService, ServiceConfig, ShardOutOfSync
+from .partition import TokenPartition
 from .protocol import (
     KNOWN_MODES,
     KNOWN_OPS,
@@ -35,6 +42,7 @@ from .protocol import (
     SelectRequest,
     SelectResponse,
 )
+from .router import RouterConfig, ShardRouter
 from .server import serve_socket, serve_stdio
 from .state import ChainSnapshot, ServiceState
 from .telemetry import ServiceTelemetry
@@ -53,6 +61,10 @@ __all__ = [
     "ServiceConfig",
     "PendingResult",
     "SelectionService",
+    "ShardOutOfSync",
+    "TokenPartition",
+    "RouterConfig",
+    "ShardRouter",
     "ServiceTelemetry",
     "ServiceClient",
     "serve_stdio",

@@ -1,9 +1,16 @@
 """A small JSONL client for the selection daemon's socket front-end.
 
-Speaks strict request/response lockstep: every call writes one line
-and reads one line back, so no correlation machinery is needed beyond
-the echoed ``id``.  The CLI ``client`` subcommand is a thin wrapper
-around this class; tests and user scripts can use it directly::
+Single-op calls speak strict request/response lockstep: every call
+writes one line and reads one line back, so no correlation machinery
+is needed beyond the echoed ``id``.  :meth:`ServiceClient.request_many`
+/ :meth:`ServiceClient.select_many` instead *pipeline*: all request
+lines go out in one write, then the responses — which the server
+guarantees arrive in request order — are read back.  Against a
+pipelined server the burst lands in the admission queue together,
+which is what lets the daemon micro-batch one client's requests.
+
+The CLI ``client`` subcommand is a thin wrapper around this class;
+tests and user scripts can use it directly::
 
     with ServiceClient("/tmp/repro.sock") as client:
         response = client.select(target="t03", c=2.0, ell=2)
@@ -48,6 +55,20 @@ class ServiceClient:
             raise ConnectionError("service closed the connection")
         return decode(line)
 
+    def request_many(self, payloads: Sequence[Mapping]) -> list[dict]:
+        """Pipeline raw op objects: one write, responses in order."""
+        if not payloads:
+            return []
+        burst = "".join(encode(payload) + "\n" for payload in payloads)
+        self._sock.sendall(burst.encode("utf-8"))
+        responses = []
+        for _ in payloads:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("service closed the connection")
+            responses.append(decode(line))
+        return responses
+
     def _autoid(self, prefix: str) -> str:
         self._next_id += 1
         return f"{prefix}{self._next_id}"
@@ -81,6 +102,17 @@ class ServiceClient:
             fault_plan=fault_plan,
         )
         return SelectResponse.from_dict(self.request(request.to_dict()))
+
+    def select_many(
+        self, requests: Sequence[SelectRequest]
+    ) -> list[SelectResponse]:
+        """Pipeline a burst of selections; typed responses in order."""
+        return [
+            SelectResponse.from_dict(payload)
+            for payload in self.request_many(
+                [request.to_dict() for request in requests]
+            )
+        ]
 
     def commit(
         self,

@@ -70,10 +70,16 @@ from .protocol import (
     SelectRequest,
     SelectResponse,
 )
+from .partition import TokenPartition
 from .state import ChainSnapshot, ServiceState
 from .telemetry import ServiceTelemetry
 
-__all__ = ["ServiceConfig", "PendingResult", "SelectionService"]
+__all__ = [
+    "ServiceConfig",
+    "PendingResult",
+    "SelectionService",
+    "ShardOutOfSync",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,6 +105,14 @@ class ServiceConfig:
         clock: seconds source for the telemetry lifecycle marks
             (``None`` = ``time.monotonic``); tests inject a
             :class:`~repro.obs.clock.ManualClock` for exact quantiles.
+        partition: partition the universe into this many TokenMagic
+            batches (or pass a prebuilt
+            :class:`~repro.service.partition.TokenPartition`): requests
+            solve against their target's batch-local (universe, rings)
+            slice and commits must be batch-local.  ``None`` keeps the
+            unpartitioned single-universe behaviour, byte-identical to
+            before the partition existed; ``partition=1`` is the same
+            thing expressed as a one-batch partition.
     """
 
     max_queue: int = 256
@@ -109,6 +123,7 @@ class ServiceConfig:
     fault_plan: Mapping | None = None
     telemetry: bool = True
     clock: Clock | None = None
+    partition: int | TokenPartition | None = None
 
 
 @dataclass(slots=True)
@@ -162,7 +177,11 @@ class SelectionService:
         config: ServiceConfig | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self.state = ServiceState(universe, rings)
+        partition = self.config.partition
+        if isinstance(partition, int):
+            partition = TokenPartition(universe, batches=partition)
+        self.partition = partition
+        self.state = ServiceState(universe, rings, partition=partition)
         self.queue: AdmissionQueue[PendingResult] = AdmissionQueue(
             max_depth=self.config.max_queue,
             max_batch=self.config.max_batch,
@@ -269,6 +288,27 @@ class SelectionService:
     ) -> SelectResponse:
         """Submit and block for the response (for tests and examples)."""
         return self.submit(request).wait(timeout)
+
+    def queue_depth(self) -> int:
+        """Currently admitted-but-unserved requests."""
+        return self.queue.depth()
+
+    def execute_requests(
+        self, requests: Sequence[SelectRequest], batch_id: int = 0
+    ) -> list[SelectResponse]:
+        """Serve ``requests`` synchronously as one micro-batch.
+
+        The shard workers of :mod:`repro.service.router` run the
+        service without its worker thread and push dispatched batches
+        through this path: same snapshot resolution, same per-request
+        fault scoping, same memo/cache behaviour as the queued path —
+        a batch assembled by the router executes exactly like one the
+        admission queue drained.
+        """
+        items = [PendingResult(request=request) for request in requests]
+        batch = Batch(batch_id=batch_id, epoch_key=EPOCH_ANY, items=list(items))
+        self._execute_batch(batch)
+        return [item.wait(timeout=0) for item in items]
 
     def stats(self) -> dict:
         """A JSON-ready snapshot (the ``stats`` op's payload).
@@ -517,33 +557,41 @@ class SelectionService:
         warm: bool,
         memo_ok: bool = True,
     ) -> SelectResponse:
-        instance = snapshot.instance(request.target, request.c, request.ell)
+        # Partitioned snapshots solve against the target's batch-local
+        # (universe, rings) slice; unpartitioned, the view *is* the
+        # snapshot and nothing changes.
+        view = snapshot.solve_view(request.target)
+        instance = view.instance(request.target, request.c, request.ell)
         budget = (
             request.time_budget
             if request.time_budget is not None
             else self.config.default_budget
         )
-        memo = snapshot.result_memo() if memo_ok else None
+        memo = view.result_memo() if memo_ok else None
         memo_key = self._memo_key(request, budget) if memo_ok else None
         if memo is not None:
             stored = memo.get(memo_key)
             if stored is not None:
-                # Identical request against the same snapshot: replay
+                # Identical request against the same batch state: replay
                 # the first solve's answer (pure function of both), with
                 # this request's own identity and batch coordinates.
+                # The epoch is re-stamped because a retained batch memo
+                # can outlive the epoch it was stored under (shard
+                # workers carry untouched batches across commits).
                 self._bump("memo.hits")
                 if events.enabled():
                     events.emit(events.MemoServed(mode=request.mode))
                 return replace(
                     stored,
                     request_id=request.request_id,
+                    epoch=snapshot.epoch,
                     batch_id=batch.batch_id,
                     batch_size=len(batch),
                     warm_cache=warm,
                     attrs={**stored.attrs, "memo": True},
                 )
         response = self._solve_fresh(
-            request, instance, snapshot, batch, warm, budget
+            request, instance, snapshot, view, batch, warm, budget
         )
         if memo is not None and response.ok:
             memo[memo_key] = response
@@ -555,11 +603,12 @@ class SelectionService:
         request: SelectRequest,
         instance,
         snapshot: ChainSnapshot,
+        view: ChainSnapshot,
         batch: Batch[PendingResult],
         warm: bool,
         budget: float | None,
     ) -> SelectResponse:
-        cache = snapshot.solver_cache()
+        cache = view.solver_cache()
         if request.mode == "exact":
             solved = bfs_select(
                 instance,
@@ -586,7 +635,7 @@ class SelectionService:
             )
         outcome = ladder_select(
             instance,
-            modules=snapshot.module_universe(),
+            modules=view.module_universe(),
             time_budget=budget,
             max_mixins=request.max_mixins,
             workers=self.config.workers,
@@ -633,3 +682,151 @@ class SelectionService:
     def _bump(self, name: str, value: int = 1) -> None:
         with self._counters_lock:
             self.counters[name] = self.counters.get(name, 0) + value
+
+
+# -- shard-worker entry point (repro.service.router) -------------------------
+#
+# Each shard of a ShardRouter is one forked pool process running a
+# SelectionService *without its worker thread*: the router dispatches
+# whole micro-batches (plus commits and stats/metrics/health probes)
+# through `_shard_call`, and the worker serves them synchronously via
+# `SelectionService.execute_requests`.  The worker's ServiceState is
+# partitioned, and its commits retain the untouched batches' warm
+# state — the per-shard cache slice the router exists to keep warm.
+#
+# Pool workers that die are respawned by the pool with the *original*
+# initargs, so a respawned worker is silently back at the initial
+# chain.  Every dispatch therefore carries the router's epoch; a
+# mismatch raises ShardOutOfSync, which the router's supervised retry
+# answers by attaching a full sync (ring log + epoch) to the resend.
+
+
+class ShardOutOfSync(RuntimeError):
+    """A shard worker's chain state lags the router's (needs a sync).
+
+    Raised inside the worker and re-raised by the pool in the router
+    process; the supervised dispatch path treats it like any other
+    worker failure — bounded retry — but attaches the sync payload the
+    respawned worker needs to rebuild state before re-serving.
+    """
+
+    def __init__(self, shard: int, have: int, want: int) -> None:
+        super().__init__(
+            f"shard {shard} is at epoch {have} but the router is at "
+            f"epoch {want}; sync required"
+        )
+        self.shard = shard
+        self.have = have
+        self.want = want
+
+
+#: Per-process shard-worker state, installed by `_init_shard_worker`
+#: (plain module globals — each forked worker has its own copy).
+_SHARD: dict = {}
+
+
+def _init_shard_worker(
+    shard_index: int,
+    owned_batches: tuple[int, ...],
+    universe: TokenUniverse,
+    rings: tuple[Ring, ...],
+    batches: int,
+    config_kwargs: dict,
+    fault_doc: Mapping | None,
+) -> None:
+    # Forked workers inherit the router's recorder/tracer globals;
+    # uninstall both — shard observability travels back as explicit
+    # stats/metrics payloads, never through an orphaned in-process sink.
+    metrics.set_recorder(None)
+    trace.set_tracer(None)
+    service = SelectionService(
+        universe,
+        rings,
+        ServiceConfig(partition=batches, **config_kwargs),
+    )
+    _SHARD.clear()
+    _SHARD.update(
+        index=shard_index,
+        owned=tuple(owned_batches),
+        service=service,
+        plan=None if fault_doc is None else faults.FaultPlan.from_dict(fault_doc),
+    )
+
+
+def _shard_sync(service: SelectionService, sync: Mapping) -> SelectionService:
+    """Rebuild the worker's chain state from a router-supplied sync."""
+    service.state = ServiceState(
+        service.state.current().universe,
+        tuple(sync["rings"]),
+        partition=service.partition,
+        epoch=int(sync["epoch"]),
+    )
+    return service
+
+
+def _shard_call(payload: Mapping):
+    """The single pool entry point: serve one router dispatch."""
+    shard = _SHARD
+    service: SelectionService = shard["service"]
+    op = payload["op"]
+    if op == "ping":
+        return {"shard": shard["index"], "epoch": service.state.epoch}
+    want = int(payload["epoch"])
+    if want != service.state.epoch:
+        sync = payload.get("sync")
+        if sync is None:
+            raise ShardOutOfSync(shard["index"], service.state.epoch, want)
+        _shard_sync(service, sync)
+        if service.state.epoch != want:
+            raise ShardOutOfSync(shard["index"], service.state.epoch, want)
+    if op == "batch":
+        plan = shard["plan"]
+        if plan is not None:
+            plan.check(
+                "shard.batch",
+                index=int(payload["seq"]),
+                attempt=int(payload["attempt"]),
+            )
+        return service.execute_requests(
+            payload["requests"], batch_id=int(payload["seq"])
+        )
+    if op == "commit":
+        ring: Ring = payload["ring"]
+        head = service.state.current()
+        if any(existing.rid == ring.rid for existing in head.rings):
+            # A retried commit the worker already applied: idempotent.
+            return {"epoch": head.epoch, "rings": len(head.rings)}
+        snapshot = service.state.commit(ring, retain_untouched=True)
+        if service.telemetry is not None:
+            service.telemetry.epoch_advanced(snapshot.epoch, len(snapshot.rings))
+        return {"epoch": snapshot.epoch, "rings": len(snapshot.rings)}
+    if op == "stats":
+        stats = service.stats()
+        stats["shard"] = shard["index"]
+        stats["batches"] = list(shard["owned"])
+        return stats
+    if op == "metrics":
+        labels = {"shard": str(shard["index"])}
+        with service._counters_lock:
+            counters = dict(sorted(service.counters.items()))
+        if service.telemetry is None:
+            from ..obs.telemetry import render_prometheus
+
+            return render_prometheus(
+                {},
+                prefix="repro_service",
+                extra_counters=counters,
+                labels=labels,
+                type_lines=bool(payload.get("type_lines", True)),
+            )
+        return service.telemetry.prometheus(
+            queue_depth=None,
+            service_counters=counters,
+            labels=labels,
+            type_lines=bool(payload.get("type_lines", True)),
+        )
+    if op == "health":
+        health = service.health()
+        health["shard"] = shard["index"]
+        return health
+    raise ValueError(f"unknown shard op {op!r}")

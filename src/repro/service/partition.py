@@ -1,0 +1,158 @@
+"""TokenMagic batch partitioning as a service-level shard key.
+
+The paper's Section 4 closes a batch once it holds λ tokens, giving
+every batch its **own disjoint mixin universe**: a ring spending a
+token of batch ``b`` draws its mixins from batch ``b`` only, so rings
+never span batches and the DA-MS instances of different batches share
+no state at all.  :mod:`repro.tokenmagic.batch` builds that structure
+over a live chain; this module is the same rule applied to a service
+snapshot — a deterministic, serializable partition of the universe
+that the daemon, the shard router and every shard worker agree on.
+
+``batch_of`` is the routing function (the service-side analogue of
+:func:`repro.tokenmagic.batch.batch_of_token`): requests route by the
+batch of their target, commits touch exactly the batch of their ring.
+Because batches are disjoint, per-batch warm state — solver cache,
+module decomposition, result memo — stays **valid across commits that
+touch other batches**: the (universe, rings) pair a batch solves
+against did not change, so every derived structure is still exact.
+That retention rule is what the shard router's throughput win is made
+of; :class:`~repro.service.state.ChainSnapshot` enforces it.
+
+Determinism: tokens are assigned in sorted order, λ = ceil(n / batches)
+per batch, so two processes constructing a partition from the same
+universe and batch count agree byte-for-byte on every assignment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..core.ring import Ring, TokenUniverse
+
+__all__ = ["TokenPartition"]
+
+
+class TokenPartition:
+    """A deterministic partition of a universe into disjoint batches.
+
+    Args:
+        universe: the mixin universe T to partition.
+        batches: how many batches to form (capped at ``len(universe)``;
+            at least 1).
+
+    Example::
+
+        >>> from repro.core.ring import TokenUniverse
+        >>> universe = TokenUniverse(
+        ...     {"t1": "h1", "t2": "h2", "t3": "h1", "t4": "h3"})
+        >>> part = TokenPartition(universe, batches=2)
+        >>> [part.batch_of(t) for t in ("t1", "t2", "t3", "t4")]
+        [0, 0, 1, 1]
+        >>> sorted(part.universe_of(1).tokens)
+        ['t3', 't4']
+    """
+
+    def __init__(self, universe: TokenUniverse, batches: int) -> None:
+        if batches < 1:
+            raise ValueError("batches must be >= 1")
+        tokens = sorted(universe.tokens)
+        if not tokens:
+            raise ValueError("cannot partition an empty universe")
+        self.batches = min(batches, len(tokens))
+        lam = math.ceil(len(tokens) / self.batches)
+        self._index: dict[str, int] = {}
+        slices: list[tuple[str, ...]] = []
+        for b in range(self.batches):
+            members = tuple(tokens[b * lam : (b + 1) * lam])
+            slices.append(members)
+            for token in members:
+                self._index[token] = b
+        self._slices = tuple(slices)
+        self._universes: list[TokenUniverse | None] = [None] * self.batches
+        self._source = universe
+
+    # -- routing -------------------------------------------------------------
+
+    def batch_of(self, token: str) -> int:
+        """The batch owning ``token`` (the shard key).
+
+        Raises:
+            KeyError: ``token`` is not in the partitioned universe.
+        """
+        try:
+            return self._index[token]
+        except KeyError:
+            raise KeyError(
+                f"token {token!r} is not in the partitioned universe"
+            ) from None
+
+    def batch_of_ring(self, tokens: Iterable[str]) -> int:
+        """The single batch a ring's tokens live in.
+
+        Raises:
+            ValueError: the ring spans batches or names unknown tokens —
+                TokenMagic forbids cross-batch rings (Sec 4: mixins come
+                from the target's own batch), and the service rejects
+                such commits as ``bad_request`` instead of corrupting
+                per-batch state.
+        """
+        seen: set[int] = set()
+        for token in tokens:
+            try:
+                seen.add(self._index[token])
+            except KeyError:
+                raise ValueError(
+                    f"ring token {token!r} is not in the partitioned universe"
+                ) from None
+        if not seen:
+            raise ValueError("ring has no tokens")
+        if len(seen) > 1:
+            raise ValueError(
+                f"ring spans batches {sorted(seen)}; TokenMagic rings are "
+                f"batch-local (mixins come from the target's batch)"
+            )
+        return seen.pop()
+
+    # -- per-batch views -----------------------------------------------------
+
+    def tokens_of(self, batch: int) -> tuple[str, ...]:
+        return self._slices[batch]
+
+    def universe_of(self, batch: int) -> TokenUniverse:
+        """The batch's disjoint mixin universe (built once, cached)."""
+        cached = self._universes[batch]
+        if cached is None:
+            cached = TokenUniverse(
+                {token: self._source.ht_of(token) for token in self._slices[batch]}
+            )
+            self._universes[batch] = cached
+        return cached
+
+    def rings_of(self, batch: int, rings: Sequence[Ring]) -> tuple[Ring, ...]:
+        """The rings whose tokens live in ``batch``, history order kept."""
+        members = set(self._slices[batch])
+        return tuple(ring for ring in rings if ring.tokens <= members)
+
+    def touched_by(self, tokens: Iterable[str]) -> set[int]:
+        """Every batch any of ``tokens`` belongs to (unknowns ignored)."""
+        return {self._index[t] for t in tokens if t in self._index}
+
+    # -- transport -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"batches": self.batches}
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TokenPartition)
+            and self.batches == other.batches
+            and self._slices == other._slices
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenPartition(batches={self.batches}, "
+            f"tokens={len(self._index)})"
+        )

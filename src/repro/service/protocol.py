@@ -28,6 +28,14 @@ failed; ``code`` mirrors the CLI sysexits vocabulary, e.g.
 ``"budget_exceeded"`` for exit 75, ``"constraint_violation"`` for
 exit 65).
 
+Served by a :class:`~repro.service.router.ShardRouter` (``serve
+--shards N``) the same ops answer shard-tagged supersets: ``stats``
+and ``health`` gain a ``shards`` list (one row per worker — queue
+depth, warm/memo hit rates, rung distribution, per-shard health), and
+the ``metrics`` body appends per-shard exposition series labelled
+``shard="N"`` after the fleet-wide families.  Clients that ignore the
+extra keys keep working unchanged.
+
 Example::
 
     >>> req = SelectRequest(request_id="r1", target="t3", c=2.0, ell=2)

@@ -5,23 +5,44 @@ Both front-ends speak the line protocol of
 one response object per line out, in request order per connection.
 The stdio mode serves a single client (the stream ends the session);
 the socket mode accepts any number of sequential or concurrent
-connections, each handled on its own thread — the daemon's admission
-queue is the only shared mutable surface, and it is thread-safe.
+connections, each handled on its own thread.
+
+Connections are **pipelined**, not lockstep: a connection's reader
+admits every ``select`` line into the daemon the moment it arrives
+(admission order = arrival order), while a writer thread emits the
+responses strictly in request order.  A client that writes ten selects
+in one burst therefore lands them in the admission queue together —
+which is what lets the daemon micro-batch them — instead of one
+request per round trip.  Non-``select`` ops (``commit``, ``stats``,
+``metrics``, ``health``, ``epoch``, ``shutdown``) act as *barriers*
+in both directions: the writer evaluates them only once every earlier
+select on the connection has resolved, and selects written *after*
+them are executed only once the barrier has run — so "select, read
+the counters" observes the select completed, and "commit, select"
+answers against the post-commit epoch, exactly as under the old
+lockstep loop.
 
 A malformed line never kills the session: it is answered with a
 ``bad_request`` rejection and the loop continues, so one buggy client
 request cannot take the service down for everyone else.
+
+The ``service`` argument is duck-typed: anything with the
+:class:`~repro.service.daemon.SelectionService` front-end surface —
+``submit`` / ``commit_ring`` / ``state`` / ``queue_depth`` /
+``stats`` / ``metrics_text`` / ``health`` — serves here, which is how
+``serve --shards N`` puts a
+:class:`~repro.service.router.ShardRouter` behind the same ops.
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import socket
 import threading
 from typing import IO, Iterator
 
 from ..obs.telemetry import PROMETHEUS_CONTENT_TYPE
-from .daemon import SelectionService
 from .protocol import (
     KNOWN_OPS,
     REJECT_BAD_REQUEST,
@@ -34,7 +55,7 @@ from .protocol import (
 __all__ = ["handle_line", "serve_stdio", "serve_socket"]
 
 
-def handle_line(service: SelectionService, line: str) -> tuple[str, bool]:
+def handle_line(service, line: str) -> tuple[str, bool]:
     """Serve one request line; returns ``(response_line, keep_going)``.
 
     ``keep_going`` is ``False`` only for a ``shutdown`` op.  All other
@@ -74,7 +95,7 @@ def handle_line(service: SelectionService, line: str) -> tuple[str, bool]:
                     "status": "ok",
                     "epoch": head.epoch,
                     "rings": len(head.rings),
-                    "queue_depth": service.queue.depth(),
+                    "queue_depth": service.queue_depth(),
                 }
             ), True
         if op == "stats":
@@ -109,26 +130,112 @@ def handle_line(service: SelectionService, line: str) -> tuple[str, bool]:
         ), True
 
 
-def serve_stdio(
-    service: SelectionService, in_stream: IO[str], out_stream: IO[str]
-) -> int:
-    """Serve JSONL requests from ``in_stream`` until EOF or ``shutdown``.
+class _Session:
+    """One pipelined connection: eager admission, ordered responses.
 
-    Returns the number of lines served.  Responses are flushed per
-    line so a pipe-driving client can work request/response lockstep.
+    The connection's reader calls :meth:`feed` per received line —
+    ``select`` lines are submitted to the service *immediately* and
+    their pending slots queued to the outbox; every other line (ops,
+    malformed input) is queued raw.  The writer thread drains the
+    outbox in order: slots block until their response resolves,
+    raw lines run through :func:`handle_line` at their position — the
+    barrier that keeps op responses causally after every earlier
+    select on the connection.  While any raw line is still queued, new
+    selects are queued raw too (executed in order by the writer), so a
+    select written after a ``commit`` always sees the commit applied.
     """
-    served = 0
-    for line in in_stream:
+
+    def __init__(self, service, write_line) -> None:
+        self.service = service
+        self.write_line = write_line
+        self.outbox: queue.Queue = queue.Queue()
+        self.served = 0
+        self.shutdown = False
+        self._lock = threading.Lock()
+        self._barriers = 0
+
+    def _put_line(self, line: str) -> None:
+        with self._lock:
+            self._barriers += 1
+        self.outbox.put(("line", line))
+
+    def feed(self, line: str) -> bool:
+        """Ingest one raw line; returns ``False`` once the session ends."""
         line = line.strip()
         if not line:
-            continue
-        response_line, keep_going = handle_line(service, line)
-        out_stream.write(response_line + "\n")
+            return True
+        try:
+            payload = decode(line)
+        except ProtocolError:
+            self._put_line(line)
+            return True
+        if payload.get("op", "select") == "select":
+            try:
+                request = SelectRequest.from_dict(payload)
+            except ProtocolError:
+                self._put_line(line)
+                return True
+            with self._lock:
+                behind_barrier = self._barriers > 0
+            if behind_barrier:
+                self._put_line(line)
+            else:
+                self.outbox.put(("slot", self.service.submit(request)))
+            return True
+        self._put_line(line)
+        if payload.get("op") == "shutdown":
+            self.shutdown = True
+            return False
+        return True
+
+    def finish(self) -> None:
+        """Signal end of input; the writer drains what is queued."""
+        self.outbox.put(("eof", None))
+
+    def write_loop(self) -> None:
+        while True:
+            kind, value = self.outbox.get()
+            if kind == "eof":
+                return
+            try:
+                if kind == "slot":
+                    response_line = encode(value.wait().to_dict())
+                    keep_going = True
+                else:
+                    response_line, keep_going = handle_line(self.service, value)
+                    with self._lock:
+                        self._barriers -= 1
+                self.write_line(response_line)
+            except Exception:  # noqa: BLE001 - peer gone; stop writing
+                return
+            self.served += 1
+            if not keep_going:
+                return
+
+
+def serve_stdio(service, in_stream: IO[str], out_stream: IO[str]) -> int:
+    """Serve JSONL requests from ``in_stream`` until EOF or ``shutdown``.
+
+    Returns the number of responses written.  Responses are flushed
+    per line, in request order; requests are admitted as they arrive
+    (see :class:`_Session`), so a burst of selects micro-batches.
+    """
+
+    def write_line(text: str) -> None:
+        out_stream.write(text + "\n")
         out_stream.flush()
-        served += 1
-        if not keep_going:
+
+    session = _Session(service, write_line)
+    writer = threading.Thread(
+        target=session.write_loop, name="repro-stdio-writer", daemon=True
+    )
+    writer.start()
+    for line in in_stream:
+        if not session.feed(line):
             break
-    return served
+    session.finish()
+    writer.join()
+    return session.served
 
 
 def _connection_lines(sock: socket.socket) -> Iterator[str]:
@@ -145,15 +252,18 @@ def _connection_lines(sock: socket.socket) -> Iterator[str]:
 
 
 def serve_socket(
-    service: SelectionService,
+    service,
     path: str | os.PathLike,
     ready: threading.Event | None = None,
 ) -> int:
     """Listen on a unix socket at ``path`` until a ``shutdown`` op.
 
-    Each accepted connection runs on its own thread.  ``ready`` (if
-    given) is set once the socket is bound — tests and the CLI use it
-    to avoid connect races.  Returns the number of connections served.
+    Each accepted connection runs a pipelined :class:`_Session` on its
+    own reader thread plus a writer thread, so concurrent clients
+    interleave freely and a single client's request burst is admitted
+    all at once.  ``ready`` (if given) is set once the socket is bound
+    — tests and the CLI use it to avoid connect races.  Returns the
+    number of connections served.
     """
     path = os.fspath(path)
     if os.path.exists(path):
@@ -169,15 +279,24 @@ def serve_socket(
 
         def handle(conn: socket.socket) -> None:
             with conn:
+
+                def write_line(text: str) -> None:
+                    conn.sendall((text + "\n").encode("utf-8"))
+
+                session = _Session(service, write_line)
+                writer = threading.Thread(
+                    target=session.write_loop,
+                    name="repro-socket-writer",
+                    daemon=True,
+                )
+                writer.start()
                 for line in _connection_lines(conn):
-                    line = line.strip()
-                    if not line:
-                        continue
-                    response_line, keep_going = handle_line(service, line)
-                    conn.sendall((response_line + "\n").encode("utf-8"))
-                    if not keep_going:
-                        stop.set()
-                        return
+                    if not session.feed(line):
+                        break
+                session.finish()
+                writer.join()
+                if session.shutdown:
+                    stop.set()
 
         threads: list[threading.Thread] = []
         while not stop.is_set():

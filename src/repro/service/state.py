@@ -16,6 +16,19 @@ pinned to an older epoch are rejected with ``stale_epoch`` rather than
 silently answered against history they did not ask about.  The old
 snapshot's caches become garbage with it — invalidation is
 whole-snapshot replacement, which is trivially deterministic.
+
+With a :class:`~repro.service.partition.TokenPartition` installed the
+snapshot additionally holds one lazily built *sub-snapshot per batch*
+(the batch's disjoint universe, its batch-local ring history, and that
+slice's own warm cache/modules/memo).  Because batches are disjoint, a
+commit touches exactly one batch, and a ``commit(retain_untouched=True)``
+carries every *other* batch's sub-snapshot — warm state included —
+into the new epoch unchanged: the (universe, rings) pair those batches
+solve against did not move, so everything derived from it is still
+exact.  The single-worker daemon keeps the whole-snapshot invalidation
+above (every commit starts cold); the shard workers of
+:mod:`repro.service.router` use the retaining form, which is where the
+sharded throughput win comes from on a commit-interleaved workload.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from ..core.perf.cache import SolverCache
 from ..core.problem import DamsInstance
 from ..core.ring import Ring, TokenUniverse
 from ..obs import events
+from .partition import TokenPartition
 
 __all__ = ["ChainSnapshot", "ServiceState"]
 
@@ -46,18 +60,50 @@ class ChainSnapshot:
     epoch: int
     universe: TokenUniverse
     rings: tuple[Ring, ...]
+    partition: TokenPartition | None = None
     _cache: SolverCache | None = field(default=None, repr=False)
     _modules: ModuleUniverse | None = field(default=None, repr=False)
     _memo: dict = field(default_factory=dict, repr=False)
+    _parts: dict = field(default_factory=dict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def instance(self, target: str, c: float, ell: int) -> DamsInstance:
         """A per-request DA-MS instance over this snapshot."""
         return DamsInstance(self.universe, list(self.rings), target, c=c, ell=ell)
 
+    def solve_view(self, target: str) -> "ChainSnapshot":
+        """The snapshot ``target`` solves against.
+
+        Unpartitioned this is the snapshot itself.  Partitioned it is
+        the target's *batch sub-snapshot*: the batch's disjoint
+        universe, its batch-local ring history, and that slice's own
+        lazily built solver cache / module decomposition / result memo
+        (built once per epoch per batch, shared by every request that
+        routes there).
+
+        Raises:
+            KeyError: partitioned and ``target`` is in no batch.
+        """
+        if self.partition is None:
+            return self
+        batch = self.partition.batch_of(target)
+        with self._lock:
+            sub = self._parts.get(batch)
+            if sub is None:
+                sub = ChainSnapshot(
+                    epoch=self.epoch,
+                    universe=self.partition.universe_of(batch),
+                    rings=self.partition.rings_of(batch, self.rings),
+                )
+                self._parts[batch] = sub
+        return sub
+
     @property
     def cache_built(self) -> bool:
-        return self._cache is not None
+        if self.partition is None:
+            return self._cache is not None
+        with self._lock:
+            return any(sub.cache_built for sub in self._parts.values())
 
     def solver_cache(self) -> SolverCache:
         """The snapshot's shared :class:`SolverCache` (built on first use)."""
@@ -94,9 +140,21 @@ class ServiceState:
     thread reading :meth:`current` at batch-execution time.
     """
 
-    def __init__(self, universe: TokenUniverse, rings: Sequence[Ring] = ()) -> None:
+    def __init__(
+        self,
+        universe: TokenUniverse,
+        rings: Sequence[Ring] = (),
+        partition: TokenPartition | None = None,
+        epoch: int = 0,
+    ) -> None:
         self._lock = threading.Lock()
-        self._head = ChainSnapshot(epoch=0, universe=universe, rings=tuple(rings))
+        rings = tuple(rings)
+        if partition is not None:
+            for ring in rings:
+                partition.batch_of_ring(ring.tokens)
+        self._head = ChainSnapshot(
+            epoch=epoch, universe=universe, rings=rings, partition=partition
+        )
         self.epochs_advanced = 0
         self.caches_invalidated = 0
 
@@ -109,27 +167,53 @@ class ServiceState:
     def epoch(self) -> int:
         return self.current().epoch
 
-    def commit(self, ring: Ring) -> ChainSnapshot:
+    def commit(self, ring: Ring, retain_untouched: bool = False) -> ChainSnapshot:
         """Append an accepted ring; returns the new head snapshot.
 
-        The new snapshot starts cold (its caches rebuild on first use);
-        the previous epoch's warm state is dropped with the snapshot —
-        that is the deterministic invalidation the epoch counter makes
-        observable.
+        By default the new snapshot starts cold (its caches rebuild on
+        first use); the previous epoch's warm state is dropped with the
+        snapshot — that is the deterministic invalidation the epoch
+        counter makes observable.
+
+        With ``retain_untouched`` (partitioned states only — shard
+        workers use it) the commit carries every batch sub-snapshot the
+        ring does *not* touch into the new epoch, warm state included:
+        those batches' (universe, rings) pairs are unchanged, so every
+        derived structure — solver cache, module decomposition, result
+        memo — is still exact.  Only the touched batch starts cold.
+
+        Raises:
+            ValueError: duplicate ring id, or (partitioned) a ring that
+                spans batches / names unknown tokens.
         """
         with self._lock:
             old = self._head
             if any(existing.rid == ring.rid for existing in old.rings):
                 raise ValueError(f"duplicate ring id {ring.rid!r} in commit")
-            self._head = ChainSnapshot(
+            touched = None
+            if old.partition is not None:
+                touched = old.partition.batch_of_ring(ring.tokens)
+            head = ChainSnapshot(
                 epoch=old.epoch + 1,
                 universe=old.universe,
                 rings=old.rings + (ring,),
+                partition=old.partition,
             )
+            dropped_warm = old.cache_built
+            if retain_untouched and touched is not None:
+                with old._lock:
+                    carried = {
+                        batch: sub
+                        for batch, sub in old._parts.items()
+                        if batch != touched
+                    }
+                    dropped = old._parts.get(touched)
+                head._parts.update(carried)
+                dropped_warm = dropped is not None and dropped.cache_built
+            self._head = head
             self.epochs_advanced += 1
-            if old.cache_built:
+            if dropped_warm:
                 self.caches_invalidated += 1
-            head = self._head
         if events.enabled():
             events.emit(events.EpochAdvanced(epoch=head.epoch, rings=len(head.rings)))
         return head

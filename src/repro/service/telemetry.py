@@ -170,6 +170,22 @@ class ServiceTelemetry:
             self.tele.gauge("epoch", epoch)
             self.tele.gauge("rings", rings)
 
+    def mark(self, name: str) -> None:
+        """Bump a free-form lifecycle counter (one clock read).
+
+        The shard router uses this for events outside the per-request
+        stages — ``shard.retries``, ``shard.worker_lost`` — so they
+        show up in rates, health windows and the exposition without a
+        bespoke instrument.
+        """
+        with self._lock:
+            self.tele.count(name, self._clock())
+
+    def window_count(self, name: str) -> int:
+        """How often ``name`` was marked inside the rolling window."""
+        with self._lock:
+            return self.tele.counter_in_window(name, self._clock())
+
     # -- read side -----------------------------------------------------------
 
     @staticmethod
@@ -283,18 +299,34 @@ class ServiceTelemetry:
         self,
         queue_depth: int | None = None,
         service_counters: Mapping[str, int] | None = None,
+        labels: Mapping[str, str] | None = None,
+        type_lines: bool = True,
     ) -> str:
-        """The ``metrics`` op's body: Prometheus text exposition."""
+        """The ``metrics`` op's body: Prometheus text exposition.
+
+        ``labels``/``type_lines`` pass through to
+        :func:`~repro.obs.telemetry.render_prometheus` — the shard
+        router stamps each worker's body with ``shard="N"`` and keeps
+        the ``# TYPE`` declarations only on the first body per family.
+        """
         snap = self.snapshot(queue_depth)
         solver_counters = snap.pop("solver")["counters"]
-        body = render_prometheus(snap, prefix="repro_service")
+        body = render_prometheus(
+            snap, prefix="repro_service", labels=labels, type_lines=type_lines
+        )
         extra = dict(solver_counters)
         if service_counters:
             extra.update(
                 {f"legacy.{name}": value for name, value in service_counters.items()}
             )
         if extra:
-            body += render_prometheus({}, prefix="repro_solver", extra_counters=extra)
+            body += render_prometheus(
+                {},
+                prefix="repro_solver",
+                extra_counters=extra,
+                labels=labels,
+                type_lines=type_lines,
+            )
         return body
 
     def drain_summary(self) -> str:
@@ -406,6 +438,34 @@ def format_stats(stats: Mapping) -> str:
                     f"{rung}={count}" for rung, count in sorted(value.items())
                 ) or "-"
             lines.append(f"  {name:<{width}}  {value}")
+
+    shards = stats.get("shards")
+    if shards:
+        lines.append("shards:")
+        lines.append(
+            "  shard  batches      queue  reqs    epoch  warm%   memo%   "
+            "p99      rungs"
+        )
+        for row in shards:
+            batches = ",".join(str(b) for b in row.get("batches", ()))
+            warm = row.get("warm_hit_rate")
+            memo = row.get("memo_hit_rate")
+            p99 = row.get("p99_s")
+            rungs = row.get("rungs") or {}
+            rung_text = " ".join(
+                f"{rung}={count}" for rung, count in sorted(rungs.items())
+            ) or "-"
+            batches_cell = f"[{batches}]"
+            lines.append(
+                f"  {row.get('shard', '?'):<5}  "
+                f"{batches_cell:<11}  "
+                f"{row.get('queue_depth', '?'):<5}  "
+                f"{row.get('requests', '?'):<6}  "
+                f"{row.get('epoch', '?'):<5}  "
+                f"{'n/a' if warm is None else f'{warm:.0%}':<6}  "
+                f"{'n/a' if memo is None else f'{memo:.0%}':<6}  "
+                f"{_ms(p99):<7}  {rung_text}"
+            )
     return "\n".join(lines)
 
 
@@ -430,4 +490,12 @@ def format_top(stats: Mapping, health: Mapping | None = None) -> str:
             bits.append(f"epoch age {epoch_age:.1f}s")
         if bits:
             header.append("  " + " | ".join(bits))
+    shards = stats.get("shards")
+    if shards:
+        total_queue = sum(row.get("queue_depth") or 0 for row in shards)
+        total_requests = sum(row.get("requests") or 0 for row in shards)
+        header.append(
+            f"  fleet: {len(shards)} shard(s) | {total_requests} shard request(s) "
+            f"| shard queues {total_queue}"
+        )
     return "\n".join(header) + "\n" + format_stats(stats)

@@ -41,6 +41,17 @@ def write_artifacts(
     (results / "BENCH_service.json").write_text(
         json.dumps({"speedup": service_speedup})
     )
+    (results / "BENCH_shard.json").write_text(
+        json.dumps(
+            {
+                "headline": {
+                    "shards": 8,
+                    "throughput_rps": 50.0 * service_speedup,
+                    "speedup_vs_single": service_speedup,
+                }
+            }
+        )
+    )
 
 
 def test_current_metrics_reads_registered_headlines(tmp_path):
@@ -51,6 +62,8 @@ def test_current_metrics_reads_registered_headlines(tmp_path):
         "bfs.optimized_seconds": 0.1,
         "bfs.ring_index": 6.0,
         "service.speedup": 4.0,
+        "shard.throughput_rps": 200.0,
+        "shard.speedup_vs_single": 4.0,
     }
 
 

@@ -16,6 +16,7 @@ import repro.analysis.chain_reaction
 import repro.core.bfs
 import repro.resilience.ladder
 import repro.service.daemon
+import repro.service.partition
 import repro.service.protocol
 import repro.tokenmagic.framework
 
@@ -25,6 +26,7 @@ DOCUMENTED_MODULES = [
     repro.tokenmagic.framework,
     repro.resilience.ladder,
     repro.service.daemon,
+    repro.service.partition,
     repro.service.protocol,
 ]
 

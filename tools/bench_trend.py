@@ -57,6 +57,16 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
     ),
     "bfs.ring_index": ("BENCH_bfs.json", ("headline", "ring_index"), "higher"),
     "service.speedup": ("BENCH_service.json", ("speedup",), "higher"),
+    "shard.throughput_rps": (
+        "BENCH_shard.json",
+        ("headline", "throughput_rps"),
+        "higher",
+    ),
+    "shard.speedup_vs_single": (
+        "BENCH_shard.json",
+        ("headline", "speedup_vs_single"),
+        "higher",
+    ),
 }
 
 
