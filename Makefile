@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-nonumpy lint chaos bench-smoke bench docs telemetry-smoke shard-smoke verify
+.PHONY: test test-nonumpy lint chaos bench-smoke bench docs telemetry-smoke shard-smoke recover-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,7 @@ bench-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -s
 	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_shard.py
+	PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_recovery.py
 
 # Sharded-service gate: the router/partition test suite plus a capped
 # run of the shard benchmark (1 and 4 shard columns, its own workload
@@ -60,4 +61,15 @@ telemetry-smoke:
 		| grep -q 'repro_service_requests_total 1'
 	$(PYTHON) tools/bench_trend.py --check
 
-verify: test test-nonumpy chaos bench-smoke shard-smoke telemetry-smoke docs
+# Crash-safety gate: the journal/recovery suite (framing, replay,
+# torn tails, pidfile, retrying client, the SIGKILL-during-commit
+# soak), a capped run of the recovery benchmark (journal-on overhead +
+# replay cost, its own workload fingerprint so the trend check skips
+# it), then a strict fsck over the journal that bench run left behind
+# — a clean daemon must produce a byte-perfect journal.
+recover-smoke:
+	$(PYTHON) -m pytest tests/test_service_recovery.py -q
+	REPRO_BENCH_RECOVERY_SMOKE=1 PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_recovery.py
+	$(PYTHON) tools/journal_fsck.py --check benchmarks/results/recovery_journal
+
+verify: test test-nonumpy chaos bench-smoke shard-smoke recover-smoke telemetry-smoke docs

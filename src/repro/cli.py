@@ -44,6 +44,8 @@ from typing import Callable
 #: sysexits(3)-style codes for the typed failures (satellite contract).
 EXIT_BUDGET_EXCEEDED = 75
 EXIT_CONSTRAINT_VIOLATION = 65
+#: EX_UNAVAILABLE: another live daemon owns the socket/journal.
+EXIT_ALREADY_RUNNING = 69
 
 from .experiments.figures import (
     fig3_output_distribution,
@@ -233,9 +235,19 @@ def _run_serve(args: argparse.Namespace) -> int:
     Requests arrive as JSONL — on stdin by default, or over a unix
     socket with ``--socket`` — and each is answered with one JSONL
     response line (see ``docs/operations.md`` for the op vocabulary).
+
+    With ``--journal DIR`` every commit is write-ahead logged before
+    it applies, and startup replays snapshot + WAL tail back into a
+    byte-identical twin of the pre-crash daemon (the ``recovered``
+    block of stats/health/metrics reports how the replay went).  A
+    pidfile guards the journal dir (or, unjournaled, the socket path)
+    so two daemons can never interleave appends into one journal.
     """
     from .resilience.faults import FaultPlan
     from .service import (
+        AlreadyRunning,
+        Journal,
+        PidFile,
         RouterConfig,
         SelectionService,
         ServiceConfig,
@@ -251,13 +263,79 @@ def _run_serve(args: argparse.Namespace) -> int:
         # Under --shards the document instead installs in every shard
         # worker (that is how chaos reaches the shard.batch site).
         fault_doc = FaultPlan.load(args.fault_plan).to_dict()
-    universe = _synthetic_universe(args.tokens, args.hts, args.seed)
-    if args.shards >= 2:
-        service_factory = lambda: ShardRouter(  # noqa: E731
-            universe,
-            config=RouterConfig(
-                shards=args.shards,
-                batches=args.batches,
+
+    guard = None
+    if args.journal is not None:
+        guard = PidFile.for_journal(args.journal)
+    elif args.socket is not None:
+        guard = PidFile.for_socket(args.socket)
+    if guard is not None:
+        try:
+            guard.acquire()
+        except AlreadyRunning as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ALREADY_RUNNING
+
+    journal = None
+    recovered = None
+    try:
+        rings0: tuple = ()
+        epoch0 = 0
+        batches = args.batches
+        if args.journal is not None:
+            journal = Journal(
+                args.journal,
+                sync_every=args.journal_sync,
+                snapshot_every=args.snapshot_every,
+            )
+            recovered = journal.recover()
+        if recovered is not None:
+            universe = recovered.universe
+            rings0 = recovered.rings
+            epoch0 = recovered.epoch
+            if batches is None:
+                batches = recovered.batches
+            rec = recovered.recovery
+            notice = (
+                f"recovered epoch {epoch0} ({len(rings0)} ring(s)) from "
+                f"{args.journal}: snapshot epoch {rec['snapshot_epoch']}, "
+                f"{rec['frames_replayed']} frame(s) replayed"
+            )
+            if rec["torn_tail"]:
+                notice += (
+                    f"; torn tail truncated ({rec['truncated_bytes']} "
+                    f"byte(s): {rec['damage']})"
+                )
+            print(notice, file=sys.stderr)
+        else:
+            universe = _synthetic_universe(args.tokens, args.hts, args.seed)
+            if journal is not None:
+                effective_batches = batches
+                if args.shards >= 2 and effective_batches is None:
+                    effective_batches = args.shards
+                journal.append_genesis(universe, (), effective_batches)
+        recovery_block = None if recovered is None else recovered.recovery
+        if args.shards >= 2:
+            service_factory = lambda: ShardRouter(  # noqa: E731
+                universe,
+                rings0,
+                config=RouterConfig(
+                    shards=args.shards,
+                    batches=batches,
+                    max_queue=args.max_queue,
+                    max_batch=args.max_batch,
+                    linger_s=args.batch_wait,
+                    default_budget=args.budget,
+                    workers=args.workers,
+                    fault_plan=fault_doc,
+                    telemetry=not args.no_telemetry,
+                    journal=journal,
+                ),
+                epoch=epoch0,
+                recovered=recovery_block,
+            )
+        else:
+            config = ServiceConfig(
                 max_queue=args.max_queue,
                 max_batch=args.max_batch,
                 linger_s=args.batch_wait,
@@ -265,39 +343,35 @@ def _run_serve(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 fault_plan=fault_doc,
                 telemetry=not args.no_telemetry,
-            ),
+                partition=batches,
+                journal=journal,
+            )
+            service_factory = lambda: SelectionService(  # noqa: E731
+                universe, rings0, config=config,
+                epoch=epoch0, recovered=recovery_block,
+            )
+        with service_factory() as service:
+            if args.socket is not None:
+                print(f"listening on {args.socket}", file=sys.stderr)
+                served = serve_socket(service, args.socket)
+                print(f"served {served} connection(s)", file=sys.stderr)
+            else:
+                served = serve_stdio(service, sys.stdin, sys.stdout)
+                print(f"served {served} request line(s)", file=sys.stderr)
+            stats = service.stats()
+            summary = service.drain_summary()
+        print(
+            f"final epoch {stats['epoch']}, {stats['rings']} ring(s), "
+            f"{stats['refused']} refused of {stats['offered']} offered",
+            file=sys.stderr,
         )
-    else:
-        config = ServiceConfig(
-            max_queue=args.max_queue,
-            max_batch=args.max_batch,
-            linger_s=args.batch_wait,
-            default_budget=args.budget,
-            workers=args.workers,
-            fault_plan=fault_doc,
-            telemetry=not args.no_telemetry,
-            partition=args.batches,
-        )
-        service_factory = lambda: SelectionService(  # noqa: E731
-            universe, config=config
-        )
-    with service_factory() as service:
-        if args.socket is not None:
-            print(f"listening on {args.socket}", file=sys.stderr)
-            served = serve_socket(service, args.socket)
-            print(f"served {served} connection(s)", file=sys.stderr)
-        else:
-            served = serve_stdio(service, sys.stdin, sys.stdout)
-            print(f"served {served} request line(s)", file=sys.stderr)
-        stats = service.stats()
-        summary = service.drain_summary()
-    print(
-        f"final epoch {stats['epoch']}, {stats['rings']} ring(s), "
-        f"{stats['refused']} refused of {stats['offered']} offered",
-        file=sys.stderr,
-    )
-    if summary is not None:
-        print(summary, file=sys.stderr)
+        if summary is not None:
+            print(summary, file=sys.stderr)
+    finally:
+        if journal is not None:
+            journal.close()
+        if guard is not None:
+            guard.release()
     return 0
 
 
@@ -305,9 +379,14 @@ def _run_client(args: argparse.Namespace) -> int:
     """Submit requests to a running ``serve --socket`` daemon."""
     import json
 
-    from .service import ServiceClient
+    from .service import RetrySpec, ServiceClient
 
-    with ServiceClient(args.socket, timeout=args.timeout) as client:
+    retry = (
+        None
+        if args.retry_deadline is None
+        else RetrySpec(deadline_s=args.retry_deadline, seed=args.seed)
+    )
+    with ServiceClient(args.socket, timeout=args.timeout, retry=retry) as client:
         if args.stats or args.watch is not None:
             import time
 
@@ -507,6 +586,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TokenMagic batches to partition the universe "
                             "into (default: unpartitioned single daemon, "
                             "or one batch per shard under --shards)")
+    serve.add_argument("--journal", metavar="DIR", default=None,
+                       help="write-ahead journal directory: commits are "
+                            "logged before they apply, and startup replays "
+                            "snapshot + WAL back into the pre-crash state")
+    serve.add_argument("--journal-sync", type=int, default=1,
+                       metavar="N",
+                       help="fsync the WAL every N appends (1 = every "
+                            "commit durable before ack; 0 = OS-buffered, "
+                            "crash-unsafe, bench only)")
+    serve.add_argument("--snapshot-every", type=int, default=64,
+                       metavar="N",
+                       help="write a compacted snapshot and truncate the "
+                            "WAL every N commits (0 = never compact)")
 
     client = sub.add_parser(
         "client",
@@ -528,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--commit", action="store_true",
                         help="commit the selected ring (advances the epoch)")
     client.add_argument("--timeout", type=float, default=60.0)
+    client.add_argument("--retry-deadline", type=float, metavar="SECONDS",
+                        default=None,
+                        help="reconnect + resend idempotently for up to "
+                             "SECONDS when the daemon is unreachable or "
+                             "dies mid-request (exponential backoff with "
+                             "seeded jitter; default: fail fast)")
     client.add_argument("--stats", action="store_true",
                         help="pretty-print the enriched stats payload "
                              "instead of submitting a request")

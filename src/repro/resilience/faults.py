@@ -28,6 +28,13 @@ Sites wired into the pipeline (the closed vocabulary of
 ``shard.batch``              start of every shard-worker batch dispatch
                              (``index`` is the router's global dispatch
                              sequence, ``attempt`` the retry)
+``journal.append``           every write-ahead frame append (``index`` is
+                             the frame's commit epoch)
+``journal.fsync``            every journal fsync batch flush
+``journal.replay``           every frame replayed during recovery
+                             (``index`` is the frame's epoch)
+``client.reconnect``         every client reconnect attempt (``attempt``
+                             is the retry number)
 ============================ ==============================================
 
 Actions:
@@ -86,6 +93,10 @@ KNOWN_SITES = (
     "chain.load",
     "chain.clock",
     "shard.batch",
+    "journal.append",
+    "journal.fsync",
+    "journal.replay",
+    "client.reconnect",
 )
 
 

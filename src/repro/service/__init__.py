@@ -20,7 +20,12 @@ through a long-lived daemon instead of one-shot CLI invocations:
   owned batches' warm caches across commits that touch other batches;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — stdio
   and unix-socket front-ends plus the matching client (both serve a
-  single daemon or a shard router behind the same ops).
+  single daemon or a shard router behind the same ops);
+* :mod:`repro.service.journal` — the durable commit journal: a
+  CRC-framed, fsync-batched write-ahead log plus compacted snapshots,
+  replayed on startup into a byte-identical twin of a crashed daemon;
+* :mod:`repro.service.pidfile` — single-daemon ownership guard for
+  socket paths and journal directories.
 
 The service changes *when* work happens, never *what* is selected:
 ``tests/test_service_equivalence.py`` pins every answer byte-identical
@@ -31,9 +36,11 @@ sequential-cold throughput in ``benchmarks/results/BENCH_service.json``.
 """
 
 from .batching import AdmissionQueue, Batch
-from .client import ServiceClient
+from .client import RetrySpec, ServiceClient, ServiceUnavailable
 from .daemon import PendingResult, SelectionService, ServiceConfig, ShardOutOfSync
+from .journal import Journal, JournalCorruption, JournalError, RecoveredState
 from .partition import TokenPartition
+from .pidfile import AlreadyRunning, PidFile
 from .protocol import (
     KNOWN_MODES,
     KNOWN_OPS,
@@ -67,6 +74,14 @@ __all__ = [
     "ShardRouter",
     "ServiceTelemetry",
     "ServiceClient",
+    "ServiceUnavailable",
+    "RetrySpec",
+    "Journal",
+    "JournalError",
+    "JournalCorruption",
+    "RecoveredState",
+    "PidFile",
+    "AlreadyRunning",
     "serve_stdio",
     "serve_socket",
 ]

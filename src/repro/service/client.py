@@ -9,10 +9,28 @@ guarantees arrive in request order — are read back.  Against a
 pipelined server the burst lands in the admission queue together,
 which is what lets the daemon micro-batch one client's requests.
 
+Transport loss is typed: a peer that dies mid-request (daemon crash,
+socket gone, connection refused) raises :class:`ServiceUnavailable` —
+never a bare ``BrokenPipeError``/``ConnectionResetError`` — so callers
+can tell retryable transport loss from protocol errors.
+
+With a :class:`RetrySpec` the client turns that loss into exactly-once
+semantics across a daemon restart: a failed single-op call reconnects
+under a deadline with exponential backoff + seeded jitter and resends
+the *same* payload.  Every op the client resends is idempotent —
+``select`` is a pure function of (snapshot, parameters), probes are
+read-only, and ``commit`` always carries a ring id (auto-generated
+when the caller gave none), which the daemon deduplicates: a commit
+whose ack was lost in the crash is replayed as a no-op, one whose
+frame never landed is applied once.  ``shutdown`` is never retried
+(the whole point is that the peer goes away), and pipelined bursts
+(``request_many``) are not resent — a burst interrupted mid-read has
+no single safe resume point, so the typed error surfaces instead.
+
 The CLI ``client`` subcommand is a thin wrapper around this class;
 tests and user scripts can use it directly::
 
-    with ServiceClient("/tmp/repro.sock") as client:
+    with ServiceClient("/tmp/repro.sock", retry=RetrySpec()) as client:
         response = client.select(target="t03", c=2.0, ell=2)
         if response.ok:
             print(sorted(response.tokens))
@@ -22,12 +40,61 @@ tests and user scripts can use it directly::
 from __future__ import annotations
 
 import os
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from ..resilience import faults
 from .protocol import SelectRequest, SelectResponse, decode, encode
 
-__all__ = ["ServiceClient"]
+__all__ = ["RetrySpec", "ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon is unreachable, or died mid-request.
+
+    Retryable transport loss — the request may or may not have been
+    applied, which is exactly why retries go through idempotent
+    payloads (see the module docstring).  Distinct from protocol-level
+    errors, which arrive as typed *responses*.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class RetrySpec:
+    """Deadline-aware reconnect policy for single-op calls.
+
+    Attributes:
+        deadline_s: total wall-clock budget for reconnect + resend
+            attempts; once spent, :class:`ServiceUnavailable` raises
+            with the attempt count.
+        base_delay_s: sleep before the first retry.
+        multiplier: backoff factor per attempt.
+        max_delay_s: backoff cap.
+        jitter: fraction of each delay randomized (0 = none, 0.25 =
+            +/-25%), drawn from a stream seeded by ``seed`` so chaos
+            tests replay the exact same schedule.
+        seed: jitter stream seed.
+    """
+
+    deadline_s: float = 10.0
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
 
 
 class ServiceClient:
@@ -36,38 +103,169 @@ class ServiceClient:
     Args:
         path: the unix-socket path the daemon listens on.
         timeout: per-response socket timeout in seconds.
+        retry: reconnect/resend policy for single-op calls (``None``
+            disables retries; transport loss still raises the typed
+            :class:`ServiceUnavailable`).
     """
 
-    def __init__(self, path: str | os.PathLike, timeout: float = 60.0) -> None:
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(os.fspath(path))
-        self._reader = self._sock.makefile("r", encoding="utf-8")
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        timeout: float = 60.0,
+        retry: RetrySpec | None = None,
+    ) -> None:
+        self._path = os.fspath(path)
+        self._timeout = timeout
+        self._retry = retry
+        self._rng = (
+            None if retry is None else random.Random(f"client-jitter:{retry.seed}")
+        )
+        self._sock: socket.socket | None = None
+        self._reader = None
         self._next_id = 0
+        # A per-instance nonce keeps auto-generated commit rids unique
+        # across client instances (they double as idempotency keys).
+        self._nonce = f"{os.getpid():x}-{random.getrandbits(32):08x}"
+        if retry is None:
+            self._connect()
+        else:
+            self._call_with_retry(None)
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> None:
+        self._teardown()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self._timeout)
+        try:
+            sock.connect(self._path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceUnavailable(
+                f"cannot connect to service at {self._path}: {exc}"
+            ) from exc
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8")
+
+    def _teardown(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _send(self, data: bytes) -> None:
+        if self._sock is None:
+            raise ServiceUnavailable(
+                f"connection to {self._path} is closed"
+            )
+        try:
+            self._sock.sendall(data)
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            if isinstance(exc, socket.timeout):
+                raise
+            raise ServiceUnavailable(
+                f"service at {self._path} dropped the connection "
+                f"mid-request: {exc}"
+            ) from exc
+
+    def _read_line(self) -> str:
+        try:
+            line = self._reader.readline()
+        except (ConnectionError, OSError) as exc:
+            if isinstance(exc, socket.timeout):
+                raise
+            raise ServiceUnavailable(
+                f"service at {self._path} dropped the connection "
+                f"mid-response: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceUnavailable(
+                f"service at {self._path} closed the connection"
+            )
+        return line
+
+    def _roundtrip(self, payload: Mapping) -> dict:
+        self._send((encode(payload) + "\n").encode("utf-8"))
+        return decode(self._read_line())
+
+    def _call_with_retry(self, payload: Mapping | None) -> dict | None:
+        """Connect (and, with a payload, round-trip) under the deadline.
+
+        Attempt 0 runs immediately; each further attempt reconnects
+        after an exponentially backed-off, jittered sleep.  The fault
+        site ``client.reconnect`` fires per attempt (``attempt`` is
+        the retry number), which is how chaos tests steer exactly
+        which reconnect survives.
+        """
+        spec = self._retry
+        assert spec is not None
+        deadline = time.monotonic() + spec.deadline_s
+        delay = spec.base_delay_s
+        attempt = 0
+        last_exc: Exception | None = None
+        while True:
+            plan = faults.active()
+            if plan is not None:
+                plan.check("client.reconnect", attempt=attempt)
+            try:
+                if self._sock is None or attempt > 0:
+                    self._connect()
+                if payload is None:
+                    return None
+                return self._roundtrip(payload)
+            except ServiceUnavailable as exc:
+                last_exc = exc
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            sleep = min(delay, spec.max_delay_s)
+            if spec.jitter and self._rng is not None:
+                sleep *= 1.0 + spec.jitter * (2.0 * self._rng.random() - 1.0)
+            time.sleep(max(0.0, min(sleep, remaining)))
+            delay = delay * spec.multiplier if delay > 0 else spec.base_delay_s
+            attempt += 1
+        raise ServiceUnavailable(
+            f"service at {self._path} unavailable after {attempt + 1} "
+            f"attempt(s) within {spec.deadline_s:g}s"
+        ) from last_exc
 
     # -- plumbing ------------------------------------------------------------
 
     def request(self, payload: Mapping) -> dict:
-        """Send one raw op object; returns the decoded response object."""
-        self._sock.sendall((encode(payload) + "\n").encode("utf-8"))
-        line = self._reader.readline()
-        if not line:
-            raise ConnectionError("service closed the connection")
-        return decode(line)
+        """Send one raw op object; returns the decoded response object.
+
+        With a :class:`RetrySpec`, transport loss reconnects and
+        resends the identical payload until the deadline — except for
+        ``shutdown``, which is never retried.
+        """
+        try:
+            return self._roundtrip(payload)
+        except ServiceUnavailable:
+            if self._retry is None or payload.get("op") == "shutdown":
+                raise
+            self._teardown()  # the broken socket is done; force reconnect
+            return self._call_with_retry(payload)
 
     def request_many(self, payloads: Sequence[Mapping]) -> list[dict]:
-        """Pipeline raw op objects: one write, responses in order."""
+        """Pipeline raw op objects: one write, responses in order.
+
+        Never resent: a burst interrupted mid-read has no single safe
+        resume point, so transport loss raises
+        :class:`ServiceUnavailable` for the caller to re-issue.
+        """
         if not payloads:
             return []
         burst = "".join(encode(payload) + "\n" for payload in payloads)
-        self._sock.sendall(burst.encode("utf-8"))
-        responses = []
-        for _ in payloads:
-            line = self._reader.readline()
-            if not line:
-                raise ConnectionError("service closed the connection")
-            responses.append(decode(line))
-        return responses
+        self._send(burst.encode("utf-8"))
+        return [decode(self._read_line()) for _ in payloads]
 
     def _autoid(self, prefix: str) -> str:
         self._next_id += 1
@@ -121,7 +319,14 @@ class ServiceClient:
         ell: int,
         rid: str | None = None,
     ) -> dict:
-        """Append an accepted ring to the chain; advances the epoch."""
+        """Append an accepted ring to the chain; advances the epoch.
+
+        When retries are enabled and no ``rid`` is given, a unique one
+        is generated client-side so a resend across a daemon restart
+        deduplicates instead of double-applying.
+        """
+        if rid is None and self._retry is not None:
+            rid = f"cli:{self._nonce}:{self._next_id + 1}"
         payload: dict = {
             "op": "commit",
             "id": self._autoid("c"),
@@ -150,14 +355,13 @@ class ServiceClient:
         return self.request({"op": "health", "id": self._autoid("c")})
 
     def shutdown(self) -> dict:
-        """Ask the daemon to drain and stop."""
+        """Ask the daemon to drain and stop (never retried)."""
         return self.request({"op": "shutdown", "id": self._autoid("c")})
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        self._reader.close()
-        self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -59,6 +59,7 @@ from ..obs.telemetry import FanoutRecorder
 from ..resilience import faults
 from ..resilience.ladder import ConstraintViolation, ladder_select
 from .batching import EPOCH_ANY, AdmissionQueue, Batch
+from .journal import Journal, metrics_lines
 from .protocol import (
     ERROR_BUDGET_EXCEEDED,
     ERROR_CONSTRAINT_VIOLATION,
@@ -113,6 +114,12 @@ class ServiceConfig:
             unpartitioned single-universe behaviour, byte-identical to
             before the partition existed; ``partition=1`` is the same
             thing expressed as a one-batch partition.
+        journal: a :class:`~repro.service.journal.Journal` made every
+            commit durable through — the write-ahead frame lands (and,
+            per the journal's fsync policy, hits disk) *before* the
+            in-memory state mutates, so a crash at any point loses no
+            acknowledged commit.  ``None`` (the default) keeps the
+            purely in-memory behaviour.
     """
 
     max_queue: int = 256
@@ -124,6 +131,7 @@ class ServiceConfig:
     telemetry: bool = True
     clock: Clock | None = None
     partition: int | TokenPartition | None = None
+    journal: Journal | None = None
 
 
 @dataclass(slots=True)
@@ -175,13 +183,24 @@ class SelectionService:
         universe: TokenUniverse,
         rings: Sequence[Ring] = (),
         config: ServiceConfig | None = None,
+        *,
+        epoch: int = 0,
+        recovered: Mapping | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         partition = self.config.partition
         if isinstance(partition, int):
             partition = TokenPartition(universe, batches=partition)
         self.partition = partition
-        self.state = ServiceState(universe, rings, partition=partition)
+        self.journal = self.config.journal
+        #: The typed `recovered` block when this service was rebuilt
+        #: from a journal replay (surfaced via stats/health/metrics).
+        self.recovered: dict | None = dict(recovered) if recovered else None
+        # Serializes commits so WAL frame order always matches the
+        # order state mutations apply (commits arrive concurrently
+        # from independent socket connections).
+        self._commit_lock = threading.Lock()
+        self.state = ServiceState(universe, rings, partition=partition, epoch=epoch)
         self.queue: AdmissionQueue[PendingResult] = AdmissionQueue(
             max_depth=self.config.max_queue,
             max_batch=self.config.max_batch,
@@ -229,16 +248,44 @@ class SelectionService:
     def commit_ring(
         self, tokens: Sequence[str], c: float, ell: int, rid: str | None = None
     ) -> ChainSnapshot:
-        """Append an accepted ring; advances the epoch (cache invalidation)."""
-        seq = self.state.next_seq()
-        ring = Ring(
-            rid=rid or f"svc:{seq}",
-            tokens=frozenset(tokens),
-            c=c,
-            ell=ell,
-            seq=seq,
-        )
-        snapshot = self.state.commit(ring)
+        """Append an accepted ring; advances the epoch (cache invalidation).
+
+        Idempotent by ring id: recommitting a rid already on the chain
+        returns the current head unchanged — the dedup a retrying
+        client (resending across a daemon restart) relies on for
+        exactly-once semantics.  With a journal configured the commit
+        frame is appended (and fsynced, per policy) *before* the state
+        mutates — the write-ahead discipline recovery depends on.
+        """
+        with self._commit_lock:
+            head = self.state.current()
+            if rid is not None:
+                for existing in head.rings:
+                    if existing.rid == rid:
+                        self._bump("commits.replayed")
+                        return head
+            seq = 1 + max((ring.seq for ring in head.rings), default=-1)
+            ring = Ring(
+                rid=rid or f"svc:{seq}",
+                tokens=frozenset(tokens),
+                c=c,
+                ell=ell,
+                seq=seq,
+            )
+            if self.partition is not None:
+                # Validate batch-locality *before* journaling, so a
+                # doomed commit never lands a WAL frame.
+                self.partition.batch_of_ring(ring.tokens)
+            if self.journal is not None:
+                self.journal.append_commit(head.epoch + 1, ring)
+            snapshot = self.state.commit(ring)
+            if self.journal is not None:
+                self.journal.maybe_snapshot(
+                    snapshot.epoch,
+                    snapshot.universe,
+                    snapshot.rings,
+                    self.partition.batches if self.partition is not None else None,
+                )
         if self.telemetry is not None:
             self.telemetry.epoch_advanced(snapshot.epoch, len(snapshot.rings))
         return snapshot
@@ -334,6 +381,10 @@ class SelectionService:
             "caches_invalidated": self.state.caches_invalidated,
             "counters": counters,
         }
+        if self.journal is not None:
+            payload["journal"] = self.journal.stats()
+        if self.recovered is not None:
+            payload["recovered"] = dict(self.recovered)
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry.snapshot(queue_depth)
             payload["resilience"] = self.telemetry.resilience_counters()
@@ -352,17 +403,21 @@ class SelectionService:
         queue_depth = self.queue.depth()
         if self.telemetry is None:
             status = "draining" if draining else "ready"
-            return {
+            payload = {
                 "health": status,
                 "reasons": [],
                 "queue_depth": queue_depth,
                 "max_queue": self.queue.max_depth,
             }
-        return self.telemetry.health(
-            queue_depth=queue_depth,
-            max_queue=self.queue.max_depth,
-            draining=draining,
-        )
+        else:
+            payload = self.telemetry.health(
+                queue_depth=queue_depth,
+                max_queue=self.queue.max_depth,
+                draining=draining,
+            )
+        if self.recovered is not None:
+            payload["recovered"] = dict(self.recovered)
+        return payload
 
     def metrics_text(self) -> str:
         """The ``metrics`` op's body: Prometheus text exposition."""
@@ -371,11 +426,16 @@ class SelectionService:
         if self.telemetry is None:
             from ..obs.telemetry import render_prometheus
 
-            return render_prometheus(
+            body = render_prometheus(
                 {}, prefix="repro_service", extra_counters=counters
             )
-        return self.telemetry.prometheus(
-            queue_depth=self.queue.depth(), service_counters=counters
+        else:
+            body = self.telemetry.prometheus(
+                queue_depth=self.queue.depth(), service_counters=counters
+            )
+        return body + metrics_lines(
+            None if self.journal is None else self.journal.stats(),
+            self.recovered,
         )
 
     def drain_summary(self) -> str | None:
@@ -733,6 +793,7 @@ def _init_shard_worker(
     batches: int,
     config_kwargs: dict,
     fault_doc: Mapping | None,
+    epoch0: int = 0,
 ) -> None:
     # Forked workers inherit the router's recorder/tracer globals;
     # uninstall both — shard observability travels back as explicit
@@ -743,6 +804,7 @@ def _init_shard_worker(
         universe,
         rings,
         ServiceConfig(partition=batches, **config_kwargs),
+        epoch=epoch0,
     )
     _SHARD.clear()
     _SHARD.update(

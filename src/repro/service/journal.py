@@ -1,0 +1,616 @@
+"""The durable commit journal: a write-ahead log under the service.
+
+Everything the daemon and the shard router know — accepted rings,
+snapshot epochs, the partition — lives in RAM; a crash mid-traffic
+would silently lose committed chain state, which a long-running
+reproduction of the paper's recursive (c, l)-diversity guarantees
+cannot tolerate.  :class:`Journal` closes that hole with the classic
+write-ahead discipline:
+
+* every state-mutating op (the genesis configuration, every ring
+  commit) is appended to ``wal.jsonl`` **before** it is applied to the
+  in-memory :class:`~repro.service.state.ServiceState`;
+* frames are CRC-framed JSONL — ``<crc32 hex8> <canonical-json>`` per
+  line — keyed by a strictly increasing ``(epoch, seq)`` pair and
+  carrying the ring id as the idempotency token, so a replay can both
+  verify integrity and refuse double-application;
+* appends are fsync-batched: ``sync_every=1`` (the default) makes
+  every commit durable before it is acknowledged, larger values
+  amortize the fsync over bursts at a bounded durability lag
+  (``lag_frames`` in :meth:`stats` is the exposure);
+* every ``snapshot_every`` commits the journal writes a *compacted
+  snapshot* — one CRC-framed line holding the full chain state — and
+  truncates the WAL, so recovery cost is bounded by the compaction
+  cadence, not by chain length.
+
+Recovery (:meth:`Journal.recover`) loads the newest valid snapshot,
+replays the WAL tail on top of it, and returns a
+:class:`RecoveredState` from which ``serve --journal DIR`` rebuilds a
+byte-identical twin of the crashed daemon.  Torn tails degrade
+gracefully: the first frame that fails its CRC, fails to parse, or
+breaks key monotonicity ends the replay, the file is truncated back to
+the last valid frame, and the damage is surfaced as a typed
+``recovered`` block (``tests/test_service_recovery.py`` pins all of
+it).  A snapshot that fails validation falls back to the next older
+one rather than aborting recovery.
+
+Fault sites (``journal.append``, ``journal.fsync``,
+``journal.replay``) hook the same deterministic
+:mod:`repro.resilience.faults` machinery as the rest of the pipeline,
+which is how the kill-and-recover chaos soak drives I/O failure paths
+without monkeypatching.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..core.ring import Ring, TokenUniverse
+from ..resilience import faults
+
+__all__ = [
+    "JOURNAL_FORMAT_VERSION",
+    "WAL_NAME",
+    "SNAPSHOT_GLOB",
+    "JournalError",
+    "JournalCorruption",
+    "RecoveredState",
+    "Journal",
+    "encode_frame",
+    "decode_frame",
+    "scan_frames",
+    "metrics_lines",
+    "ring_to_doc",
+    "ring_from_doc",
+]
+
+JOURNAL_FORMAT_VERSION = 1
+
+WAL_NAME = "wal.jsonl"
+SNAPSHOT_GLOB = "snapshot-*.json"
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.json$")
+
+#: ``op`` vocabulary of journal frames.
+FRAME_OPS = ("genesis", "commit", "snapshot")
+
+
+class JournalError(RuntimeError):
+    """A journal operation that cannot proceed (bad dir, bad config)."""
+
+
+class JournalCorruption(JournalError):
+    """A frame or snapshot that failed CRC/parse/monotonicity checks.
+
+    Raised only by the strict paths (``journal_fsck --check``);
+    :meth:`Journal.recover` degrades gracefully instead — truncate at
+    the last valid frame and report the damage.
+    """
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def _canonical(body: Mapping) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def encode_frame(body: Mapping) -> str:
+    """One CRC-framed journal line (no trailing newline).
+
+    The CRC32 of the canonical JSON body leads the line as eight hex
+    digits, so a torn or bit-flipped tail is detected before the JSON
+    parser ever runs::
+
+        >>> line = encode_frame({"op": "commit", "epoch": 1, "seq": 0})
+        >>> decode_frame(line)["epoch"]
+        1
+    """
+    text = _canonical(body)
+    crc = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {text}"
+
+
+def decode_frame(line: str) -> dict:
+    """Parse one framed line; raises :class:`JournalCorruption` on damage."""
+    if len(line) < 10 or line[8] != " ":
+        raise JournalCorruption(f"malformed frame header: {line[:24]!r}")
+    crc_text, text = line[:8], line[9:]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        raise JournalCorruption(f"bad CRC field {crc_text!r}") from None
+    actual = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    if actual != expected:
+        raise JournalCorruption(
+            f"CRC mismatch: frame says {crc_text}, body hashes to {actual:08x}"
+        )
+    try:
+        body = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JournalCorruption(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(body, dict):
+        raise JournalCorruption("frame body must be a JSON object")
+    return body
+
+
+def scan_frames(path: Path) -> tuple[list[dict], int, str | None]:
+    """Read every valid frame prefix of ``path``.
+
+    Returns ``(frames, valid_bytes, damage)``: the frames decoded
+    before the first invalid line, how many bytes of the file they
+    span (the truncation point), and a human description of the first
+    damage found (``None`` for a clean file).  A final line without a
+    newline terminator is treated as torn — a crash mid-append — even
+    if its CRC happens to verify.
+    """
+    frames: list[dict] = []
+    valid_bytes = 0
+    damage: str | None = None
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return frames, 0, None
+    offset = 0
+    last_key: tuple[int, int] | None = None
+    while offset < len(blob):
+        newline = blob.find(b"\n", offset)
+        if newline < 0:
+            damage = f"torn tail: {len(blob) - offset} byte(s) without newline"
+            break
+        raw = blob[offset:newline]
+        try:
+            body = decode_frame(raw.decode("utf-8", errors="strict"))
+        except (JournalCorruption, UnicodeDecodeError) as exc:
+            damage = f"frame {len(frames)}: {exc}"
+            break
+        key = (int(body.get("epoch", -1)), int(body.get("seq", -1)))
+        if last_key is not None and key <= last_key:
+            damage = (
+                f"frame {len(frames)}: key {key} not after {last_key} "
+                f"(non-monotonic (epoch, seq))"
+            )
+            break
+        last_key = key
+        frames.append(body)
+        offset = newline + 1
+        valid_bytes = offset
+    return frames, valid_bytes, damage
+
+
+# -- chain-state (de)serialization -------------------------------------------
+
+
+def ring_to_doc(ring: Ring) -> dict:
+    return {
+        "rid": ring.rid,
+        "tokens": sorted(ring.tokens),
+        "c": ring.c,
+        "ell": ring.ell,
+        "seq": ring.seq,
+    }
+
+
+def ring_from_doc(doc: Mapping) -> Ring:
+    return Ring(
+        rid=str(doc["rid"]),
+        tokens=frozenset(str(t) for t in doc["tokens"]),
+        c=float(doc["c"]),
+        ell=int(doc["ell"]),
+        seq=int(doc["seq"]),
+    )
+
+
+def _state_doc(
+    universe: TokenUniverse,
+    rings: Sequence[Ring],
+    batches: int | None,
+) -> dict:
+    return {
+        "universe": {token: universe.ht_of(token) for token in sorted(universe.tokens)},
+        "rings": [ring_to_doc(ring) for ring in rings],
+        "batches": batches,
+    }
+
+
+@dataclass(slots=True)
+class RecoveredState:
+    """What a journal replay reconstructed, plus how it went.
+
+    ``recovery`` is the typed ``recovered`` block the service surfaces
+    through ``stats``/``health``/``metrics``:
+
+    ============================ ===========================================
+    ``snapshot_epoch``           epoch of the compacted snapshot used
+                                 (``0`` = genesis)
+    ``frames_replayed``          WAL commit frames applied on top of it
+    ``torn_tail``                the WAL ended in damage that was cut off
+    ``truncated_bytes``          bytes discarded past the last valid frame
+    ``damage``                   human description of the damage (or None)
+    ============================ ===========================================
+    """
+
+    epoch: int
+    universe: TokenUniverse
+    rings: tuple[Ring, ...]
+    batches: int | None
+    recovery: dict = field(default_factory=dict)
+
+
+class Journal:
+    """One durable journal directory (WAL + compacted snapshots).
+
+    Args:
+        directory: the journal home; created if missing.
+        sync_every: fsync after every Nth append (1 = every append is
+            durable before the commit is acknowledged; larger values
+            batch the fsync and bound the durability lag; 0 disables
+            fsync entirely — OS-buffered, crash-unsafe, bench only).
+        snapshot_every: write a compacted snapshot and truncate the WAL
+            after this many commits (0 disables compaction).
+
+    One process owns a journal at a time — see
+    :mod:`repro.service.pidfile` for the guard the CLI installs.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        sync_every: int = 1,
+        snapshot_every: int = 64,
+    ) -> None:
+        if sync_every < 0 or snapshot_every < 0:
+            raise JournalError("sync_every and snapshot_every must be >= 0")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync_every = sync_every
+        self.snapshot_every = snapshot_every
+        self.wal_path = self.directory / WAL_NAME
+        self._wal = None  # opened lazily by append paths
+        self._unsynced = 0
+        self._commits_since_snapshot = 0
+        self.counters: dict[str, int] = {
+            "appends": 0,
+            "fsyncs": 0,
+            "snapshots": 0,
+            "replayed_frames": 0,
+            "truncated_bytes": 0,
+        }
+
+    # -- write side ----------------------------------------------------------
+
+    def _open_wal(self):
+        if self._wal is None:
+            self._wal = open(self.wal_path, "a", encoding="utf-8")
+        return self._wal
+
+    def _fsync(self) -> None:
+        plan = faults.active()
+        if plan is not None:
+            plan.check("journal.fsync")
+        os.fsync(self._wal.fileno())
+        self.counters["fsyncs"] += 1
+        self._unsynced = 0
+
+    def append(self, body: Mapping) -> None:
+        """Append one frame; fsync per the batching policy.
+
+        The caller must hold whatever lock serializes commits — frames
+        must land in the same order state mutations are applied.
+        """
+        plan = faults.active()
+        if plan is not None:
+            plan.check("journal.append")
+        handle = self._open_wal()
+        handle.write(encode_frame(body) + "\n")
+        handle.flush()
+        self.counters["appends"] += 1
+        self._unsynced += 1
+        if self.sync_every and self._unsynced >= self.sync_every:
+            self._fsync()
+
+    def append_genesis(
+        self,
+        universe: TokenUniverse,
+        rings: Sequence[Ring],
+        batches: int | None,
+    ) -> None:
+        """Record the initial chain state (epoch 0) as the first frame."""
+        self.append(
+            {
+                "version": JOURNAL_FORMAT_VERSION,
+                "op": "genesis",
+                "epoch": 0,
+                "seq": -1,
+                "data": _state_doc(universe, rings, batches),
+            }
+        )
+        if self.sync_every and self._unsynced:
+            self._fsync()
+
+    def append_commit(self, epoch: int, ring: Ring) -> None:
+        """WAL a ring commit *before* it is applied to the state.
+
+        ``epoch`` is the epoch the chain will be at once the commit
+        applies; the ring id doubles as the idempotency token a
+        recovering replay and a retrying client both key on.
+        """
+        self.append(
+            {
+                "version": JOURNAL_FORMAT_VERSION,
+                "op": "commit",
+                "epoch": epoch,
+                "seq": ring.seq,
+                "token": ring.rid,
+                "data": ring_to_doc(ring),
+            }
+        )
+        self._commits_since_snapshot += 1
+
+    def sync(self) -> None:
+        """Force any batched appends to disk now."""
+        if self._wal is not None and self._unsynced:
+            self._fsync()
+
+    def due_for_snapshot(self) -> bool:
+        return (
+            self.snapshot_every > 0
+            and self._commits_since_snapshot >= self.snapshot_every
+        )
+
+    def write_snapshot(
+        self,
+        epoch: int,
+        universe: TokenUniverse,
+        rings: Sequence[Ring],
+        batches: int | None,
+    ) -> Path:
+        """Compact: persist the full state, then truncate the WAL.
+
+        The snapshot is written to a temp file, fsynced and renamed
+        into place before the WAL is touched, so a crash at any point
+        leaves either the old (snapshot, WAL) pair or the new one —
+        never a state that loses a committed ring.  Replays skip WAL
+        frames at or below the snapshot epoch, which also covers a
+        crash between the rename and the truncation.
+        """
+        body = {
+            "version": JOURNAL_FORMAT_VERSION,
+            "op": "snapshot",
+            "epoch": epoch,
+            "seq": max((ring.seq for ring in rings), default=-1),
+            "data": _state_doc(universe, rings, batches),
+        }
+        path = self.directory / f"snapshot-{epoch:08d}.json"
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(encode_frame(body) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        # Truncate the WAL: everything up to `epoch` now lives in the
+        # snapshot.  Reopen in write mode to drop the old frames.
+        if self._wal is not None:
+            self._wal.close()
+        self._wal = open(self.wal_path, "w", encoding="utf-8")
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+        self.counters["snapshots"] += 1
+        self._commits_since_snapshot = 0
+        self._unsynced = 0
+        self._prune_snapshots(keep=2)
+        return path
+
+    def maybe_snapshot(
+        self,
+        epoch: int,
+        universe: TokenUniverse,
+        rings: Sequence[Ring],
+        batches: int | None,
+    ) -> Path | None:
+        """Compact when the cadence says so (the commit-path helper)."""
+        if not self.due_for_snapshot():
+            return None
+        return self.write_snapshot(epoch, universe, rings, batches)
+
+    def _prune_snapshots(self, keep: int) -> None:
+        files = sorted(self._snapshot_paths(), reverse=True)
+        for path in files[keep:]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self.sync()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    # -- read side -----------------------------------------------------------
+
+    def _snapshot_paths(self) -> list[Path]:
+        return [
+            path
+            for path in self.directory.glob(SNAPSHOT_GLOB)
+            if _SNAPSHOT_RE.match(path.name)
+        ]
+
+    def exists(self) -> bool:
+        """Is there anything to recover from in this directory?"""
+        return bool(self._snapshot_paths()) or (
+            self.wal_path.exists() and self.wal_path.stat().st_size > 0
+        )
+
+    def _load_base(self) -> tuple[dict | None, list[str]]:
+        """The newest valid snapshot body, plus notes on any skipped."""
+        notes: list[str] = []
+        for path in sorted(self._snapshot_paths(), reverse=True):
+            try:
+                line = path.read_text(encoding="utf-8").rstrip("\n")
+                body = decode_frame(line)
+            except (OSError, JournalCorruption) as exc:
+                notes.append(f"snapshot {path.name} unusable ({exc}); skipped")
+                continue
+            if body.get("op") not in ("snapshot", "genesis"):
+                notes.append(f"snapshot {path.name} has op {body.get('op')!r}; skipped")
+                continue
+            return body, notes
+        return None, notes
+
+    def recover(self, truncate: bool = True) -> RecoveredState | None:
+        """Replay snapshot + WAL tail into a :class:`RecoveredState`.
+
+        Returns ``None`` when the directory holds no journal at all (a
+        fresh start).  Damage never raises: the WAL is cut back to its
+        last valid frame (``truncate=True`` persists the cut; fsck's
+        read-only mode passes ``False``) and the loss is reported in
+        ``RecoveredState.recovery``.
+
+        Raises:
+            JournalError: a WAL exists but neither a genesis frame nor
+                a snapshot does — there is no base state to replay onto.
+        """
+        plan = faults.active()
+        if plan is not None:
+            plan.check("journal.replay")
+        if not self.exists():
+            return None
+        base, notes = self._load_base()
+        frames, valid_bytes, damage = scan_frames(self.wal_path)
+        if base is None:
+            # No snapshot yet: the genesis frame must lead the WAL.
+            if not frames or frames[0].get("op") != "genesis":
+                raise JournalError(
+                    f"{self.wal_path} has no genesis frame and no snapshot "
+                    f"exists; cannot reconstruct state"
+                )
+            base = frames[0]
+            frames = frames[1:]
+
+        data = base["data"]
+        universe = TokenUniverse(dict(data["universe"]))
+        rings = [ring_from_doc(doc) for doc in data["rings"]]
+        batches = data.get("batches")
+        epoch = int(base["epoch"])
+        seen = {ring.rid for ring in rings}
+
+        replayed = 0
+        for body in frames:
+            if body.get("op") != "commit":
+                continue
+            if int(body["epoch"]) <= epoch:
+                continue  # already folded into the snapshot
+            token = str(body.get("token", ""))
+            if token in seen:
+                continue  # idempotency: a double-appended frame is a no-op
+            ring = ring_from_doc(body["data"])
+            rings.append(ring)
+            seen.add(ring.rid)
+            epoch = int(body["epoch"])
+            replayed += 1
+
+        truncated = 0
+        if damage is not None:
+            try:
+                truncated = self.wal_path.stat().st_size - valid_bytes
+            except OSError:
+                truncated = 0
+            if truncate and truncated > 0:
+                with open(self.wal_path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        self.counters["replayed_frames"] += replayed
+        self.counters["truncated_bytes"] += truncated
+
+        recovery = {
+            "snapshot_epoch": int(base["epoch"]),
+            "frames_replayed": replayed,
+            "torn_tail": damage is not None,
+            "truncated_bytes": truncated,
+            "damage": damage,
+        }
+        if notes:
+            recovery["notes"] = notes
+        return RecoveredState(
+            epoch=epoch,
+            universe=universe,
+            rings=tuple(rings),
+            batches=None if batches is None else int(batches),
+            recovery=recovery,
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``journal`` block of the service ``stats`` payload."""
+        return {
+            "directory": str(self.directory),
+            "sync_every": self.sync_every,
+            "snapshot_every": self.snapshot_every,
+            "lag_frames": self._unsynced,
+            "commits_since_snapshot": self._commits_since_snapshot,
+            **{key: value for key, value in sorted(self.counters.items())},
+        }
+
+    # -- lifecycle sugar -----------------------------------------------------
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def metrics_lines(
+    journal_stats: Mapping | None,
+    recovered: Mapping | None,
+    prefix: str = "repro_service",
+) -> str:
+    """Prometheus exposition lines for the journal + recovery blocks.
+
+    Appended to the service's ``metrics`` body so journal durability
+    lag and replay/truncation history scrape from the same endpoint as
+    everything else.
+    """
+    lines: list[str] = []
+    if journal_stats is not None:
+        for name in (
+            "appends",
+            "fsyncs",
+            "snapshots",
+            "replayed_frames",
+            "truncated_bytes",
+        ):
+            lines.append(
+                f"{prefix}_journal_{name}_total {int(journal_stats.get(name, 0))}"
+            )
+        lines.append(
+            f"{prefix}_journal_lag_frames {int(journal_stats.get('lag_frames', 0))}"
+        )
+    if recovered is not None:
+        lines.append(
+            f"{prefix}_recovered_frames_replayed "
+            f"{int(recovered.get('frames_replayed', 0))}"
+        )
+        lines.append(
+            f"{prefix}_recovered_snapshot_epoch "
+            f"{int(recovered.get('snapshot_epoch', 0))}"
+        )
+        lines.append(
+            f"{prefix}_recovered_torn_tail "
+            f"{1 if recovered.get('torn_tail') else 0}"
+        )
+        lines.append(
+            f"{prefix}_recovered_truncated_bytes "
+            f"{int(recovered.get('truncated_bytes', 0))}"
+        )
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,115 @@
+"""Single-daemon ownership guard for sockets and journal directories.
+
+Two daemons interleaving appends into one journal (or racing on one
+unix socket path) would corrupt exactly the state the journal exists
+to protect.  :class:`PidFile` is the boring, standard answer: write
+``<pid>`` to a well-known file, refuse to start when the file names a
+process that is still alive, silently reclaim it when the process is
+gone (a SIGKILLed daemon never runs its cleanup — stale pidfiles are
+the *normal* crash residue, not an error).
+
+Used by ``serve``: the pidfile lives inside the journal directory when
+``--journal`` is given (guarding the journal) and next to the socket
+path otherwise (guarding the listener).  Plain stdio serves guard
+nothing — there is no shared resource to own.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["PID_NAME", "AlreadyRunning", "PidFile", "pid_alive"]
+
+PID_NAME = "daemon.pid"
+
+
+class AlreadyRunning(RuntimeError):
+    """Another live daemon owns this socket path or journal directory."""
+
+    def __init__(self, path: Path, pid: int) -> None:
+        super().__init__(
+            f"another daemon (pid {pid}) owns {path.parent}; refusing to "
+            f"start — stop it first, or remove {path} if it is wrong"
+        )
+        self.path = path
+        self.pid = pid
+
+
+def pid_alive(pid: int) -> bool:
+    """Is ``pid`` a running process we could signal?"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else — still alive
+    return True
+
+
+class PidFile:
+    """Acquire/release ownership of a path-shaped resource.
+
+    Use as a context manager::
+
+        with PidFile.for_journal(journal_dir):
+            ...  # serve
+
+    Raises:
+        AlreadyRunning: the pidfile names a live process.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._owned = False
+
+    @classmethod
+    def for_journal(cls, directory: str | os.PathLike) -> "PidFile":
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / PID_NAME)
+
+    @classmethod
+    def for_socket(cls, socket_path: str | os.PathLike) -> "PidFile":
+        return cls(Path(os.fspath(socket_path) + ".pid"))
+
+    def acquire(self) -> "PidFile":
+        existing = self.read()
+        if existing is not None and existing != os.getpid():
+            if pid_alive(existing):
+                raise AlreadyRunning(self.path, existing)
+            # Stale: the owner died without cleanup.  Reclaim.
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(f"{os.getpid()}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._owned = True
+        return self
+
+    def read(self) -> int | None:
+        """The pid recorded in the file, or ``None`` if absent/garbled."""
+        try:
+            text = self.path.read_text(encoding="utf-8").strip()
+            return int(text)
+        except (OSError, ValueError):
+            return None
+
+    def release(self) -> None:
+        if not self._owned:
+            return
+        self._owned = False
+        # Only remove a file we still own — a reclaimer may have
+        # overwritten it while we were being debugged/suspended.
+        if self.read() == os.getpid():
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "PidFile":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -85,6 +85,7 @@ from .daemon import (
     _init_shard_worker,
     _shard_call,
 )
+from .journal import Journal, metrics_lines
 from .partition import TokenPartition
 from .protocol import (
     ERROR_INTERNAL,
@@ -128,6 +129,11 @@ class RouterConfig:
             would never advance).
         retry: supervised-dispatch policy (sentinel timeout, death
             grace, bounded backoff) for every worker call.
+        journal: a :class:`~repro.service.journal.Journal` the
+            *router's mirror* makes every commit durable through —
+            same write-ahead discipline as the single daemon; workers
+            never touch the journal (they are rebuilt from the mirror
+            on respawn/sync).
     """
 
     shards: int = 2
@@ -143,6 +149,7 @@ class RouterConfig:
     retry: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(max_retries=2, hang_timeout=120.0)
     )
+    journal: Journal | None = None
 
 
 class _Shard:
@@ -182,6 +189,9 @@ class ShardRouter:
         universe: TokenUniverse,
         rings: Sequence[Ring] = (),
         config: RouterConfig | None = None,
+        *,
+        epoch: int = 0,
+        recovered: Mapping | None = None,
     ) -> None:
         self.config = config or RouterConfig()
         if self.config.shards < 1:
@@ -193,12 +203,16 @@ class ShardRouter:
         )
         self.partition = TokenPartition(universe, batches=batches)
         self.shards = min(self.config.shards, self.partition.batches)
+        self.journal = self.config.journal
+        self.recovered: dict | None = dict(recovered) if recovered else None
+        self._commit_lock = threading.Lock()
         # The router's own chain mirror: source of truth for epoch,
         # ring log (sync payloads) and commit validation.  Its caches
         # are never built — solving happens in the workers.
-        self.state = ServiceState(universe, rings, partition=self.partition)
+        self.state = ServiceState(universe, rings, partition=self.partition, epoch=epoch)
         self._universe = universe
         self._rings0 = tuple(rings)
+        self._epoch0 = epoch
         self._shards = [
             _Shard(
                 index,
@@ -254,6 +268,7 @@ class ShardRouter:
                     self.partition.batches,
                     config_kwargs,
                     fault_doc,
+                    self._epoch0,
                 ),
             )
             shard.thread = threading.Thread(
@@ -308,17 +323,41 @@ class ShardRouter:
         application is idempotent by ring id, so supervised retries of
         the broadcast are safe; a shard lost mid-broadcast catches up
         through the epoch guard of its next dispatch.
+
+        Idempotent by ring id at the router too: recommitting a rid
+        already in the mirror returns the current head unchanged (the
+        client-retry dedup).  With a journal configured, the frame is
+        appended before the mirror mutates — the same write-ahead
+        discipline as the single daemon.
         """
-        seq = self.state.next_seq()
-        ring = Ring(
-            rid=rid or f"svc:{seq}",
-            tokens=frozenset(tokens),
-            c=c,
-            ell=ell,
-            seq=seq,
-        )
-        old = self.state.current()
-        snapshot = self.state.commit(ring)
+        with self._commit_lock:
+            old = self.state.current()
+            if rid is not None:
+                for existing in old.rings:
+                    if existing.rid == rid:
+                        self._bump("commits.replayed")
+                        return old
+            seq = 1 + max((ring.seq for ring in old.rings), default=-1)
+            ring = Ring(
+                rid=rid or f"svc:{seq}",
+                tokens=frozenset(tokens),
+                c=c,
+                ell=ell,
+                seq=seq,
+            )
+            # Validate batch-locality before journaling, so a doomed
+            # commit never lands a WAL frame.
+            self.partition.batch_of_ring(ring.tokens)
+            if self.journal is not None:
+                self.journal.append_commit(old.epoch + 1, ring)
+            snapshot = self.state.commit(ring)
+            if self.journal is not None:
+                self.journal.maybe_snapshot(
+                    snapshot.epoch,
+                    snapshot.universe,
+                    snapshot.rings,
+                    self.partition.batches,
+                )
         if self.telemetry is not None:
             self.telemetry.epoch_advanced(snapshot.epoch, len(snapshot.rings))
         payload = {"op": "commit", "epoch": old.epoch, "ring": ring}
@@ -573,6 +612,10 @@ class ShardRouter:
             "counters": counters,
             "shards": rows,
         }
+        if self.journal is not None:
+            payload["journal"] = self.journal.stats()
+        if self.recovered is not None:
+            payload["recovered"] = dict(self.recovered)
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry.snapshot(queue_depth)
             payload["resilience"] = self.telemetry.resilience_counters()
@@ -621,6 +664,8 @@ class ShardRouter:
                 if raw.get("health") == "degraded":
                     payload["reasons"].append(f"shard {shard.index} degraded")
         payload["shards"] = rows
+        if self.recovered is not None:
+            payload["recovered"] = dict(self.recovered)
         if payload["health"] == "ready" and payload["reasons"]:
             payload["health"] = "degraded"
         return payload
@@ -646,6 +691,12 @@ class ShardRouter:
                 {}, prefix="repro_service", extra_counters=counters
             )
         parts = [body]
+        parts.append(
+            metrics_lines(
+                None if self.journal is None else self.journal.stats(),
+                self.recovered,
+            )
+        )
         for shard, raw in self._probe("metrics", extra={"type_lines": False}):
             if not isinstance(raw, Exception):
                 parts.append(raw)

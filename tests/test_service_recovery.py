@@ -1,0 +1,901 @@
+"""Crash safety: the journal, recovery replay, and idempotent retry.
+
+Four layers of pinning:
+
+* the WAL framing is tamper-evident and replayable — CRC framing,
+  strict (epoch, seq) monotonicity, torn-tail truncation at the last
+  valid frame, snapshot compaction bounding the tail;
+* a daemon rebuilt from snapshot + WAL answers **byte-identically** to
+  an uncrashed twin that applied the same commits (the
+  test_service_equivalence convention, minus execution coordinates);
+* the client turns transport loss into exactly-once semantics: typed
+  :class:`~repro.service.client.ServiceUnavailable` (never a bare
+  ``BrokenPipeError``), deadline-aware reconnect with seeded backoff,
+  idempotency-key resend that survives a commit applied-but-unacked;
+* the seeded SIGKILL soak: a real ``serve --journal`` subprocess is
+  killed at seeded points under commit-interleaved load, restarted,
+  and must come back with every acknowledged ring present and every
+  replayed response byte-identical to the uncrashed reference.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.resilience import faults
+from repro.service import (
+    Journal,
+    JournalCorruption,
+    JournalError,
+    PidFile,
+    AlreadyRunning,
+    RetrySpec,
+    RouterConfig,
+    SelectionService,
+    SelectRequest,
+    ServiceClient,
+    ServiceConfig,
+    ServiceUnavailable,
+    ShardRouter,
+    TokenPartition,
+)
+from repro.service.journal import (
+    decode_frame,
+    encode_frame,
+    metrics_lines,
+    ring_from_doc,
+    ring_to_doc,
+    scan_frames,
+)
+from repro.service.pidfile import pid_alive
+from repro.service.server import handle_line
+from repro.core.ring import Ring, TokenUniverse
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def recovery_universe(tokens: int = 24, hts: int = 6, seed: int = 3) -> TokenUniverse:
+    """Same construction as the CLI's synthetic serve universe."""
+    rng = random.Random(seed)
+    return TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(hts)}" for i in range(tokens)}
+    )
+
+
+def canon(response) -> dict:
+    """A response minus its execution coordinates (shard-test convention)."""
+    payload = response.to_dict() if hasattr(response, "to_dict") else dict(response)
+    for key in ("elapsed", "batch_id", "batch_size", "warm_cache"):
+        payload.pop(key, None)
+    attrs = payload.get("attrs")
+    if attrs is not None:
+        attrs.pop("memo", None)
+        if not attrs:
+            payload.pop("attrs")
+    return payload
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def test_frame_roundtrip_and_crc_detection():
+    body = {"op": "commit", "epoch": 3, "seq": 2, "token": "r2"}
+    line = encode_frame(body)
+    assert decode_frame(line) == body
+    # Flip one body byte: the CRC catches it before the JSON parser.
+    tampered = line[:-2] + ("0" if line[-2] != "0" else "1") + line[-1]
+    with pytest.raises(JournalCorruption, match="CRC mismatch"):
+        decode_frame(tampered)
+    with pytest.raises(JournalCorruption, match="malformed frame header"):
+        decode_frame("not a frame")
+    with pytest.raises(JournalCorruption, match="bad CRC field"):
+        decode_frame("zzzzzzzz " + line[9:])
+
+
+def test_scan_frames_torn_tail_and_monotonicity(tmp_path):
+    wal = tmp_path / "wal.jsonl"
+    frames = [
+        {"op": "commit", "epoch": 1, "seq": 0},
+        {"op": "commit", "epoch": 2, "seq": 1},
+    ]
+    text = "".join(encode_frame(f) + "\n" for f in frames)
+    # A torn final line: valid CRC but no newline terminator.
+    wal.write_text(text + encode_frame({"op": "commit", "epoch": 3, "seq": 2}))
+    scanned, valid_bytes, damage = scan_frames(wal)
+    assert [f["epoch"] for f in scanned] == [1, 2]
+    assert valid_bytes == len(text.encode())
+    assert "torn tail" in damage
+
+    # A non-monotonic key ends the replay at the last good frame.
+    wal.write_text(text + encode_frame({"op": "commit", "epoch": 2, "seq": 1}) + "\n")
+    scanned, _, damage = scan_frames(wal)
+    assert [f["epoch"] for f in scanned] == [1, 2]
+    assert "non-monotonic" in damage
+
+    # Clean file: no damage.
+    wal.write_text(text)
+    scanned, valid_bytes, damage = scan_frames(wal)
+    assert damage is None and valid_bytes == len(text.encode())
+
+
+def test_ring_doc_roundtrip():
+    ring = Ring("r7", frozenset({"t01", "t05"}), c=2.5, ell=3, seq=7)
+    assert ring_from_doc(ring_to_doc(ring)) == ring
+
+
+# -- the journal write/replay cycle ------------------------------------------
+
+
+def test_journal_genesis_commit_recover_roundtrip(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), None)
+    rings = [
+        Ring(f"r{i}", frozenset({f"t{2*i:02d}", f"t{2*i+1:02d}"}), c=1.0,
+             ell=1, seq=i)
+        for i in range(4)
+    ]
+    for i, ring in enumerate(rings):
+        journal.append_commit(i + 1, ring)
+    journal.close()
+
+    recovered = Journal(tmp_path / "j").recover()
+    assert recovered.epoch == 4
+    assert list(recovered.rings) == rings
+    assert recovered.universe.tokens == universe.tokens
+    assert all(
+        recovered.universe.ht_of(t) == universe.ht_of(t)
+        for t in universe.tokens
+    )
+    assert recovered.recovery == {
+        "snapshot_epoch": 0,
+        "frames_replayed": 4,
+        "torn_tail": False,
+        "truncated_bytes": 0,
+        "damage": None,
+    }
+
+
+def test_recover_on_empty_directory_is_fresh_start(tmp_path):
+    assert Journal(tmp_path / "nothing").recover() is None
+
+
+def test_recover_without_genesis_or_snapshot_raises(tmp_path):
+    journal = Journal(tmp_path / "j", snapshot_every=0)
+    ring = Ring("r0", frozenset({"t00"}), c=1.0, ell=1, seq=0)
+    journal.append_commit(1, ring)
+    journal.close()
+    with pytest.raises(JournalError, match="no genesis frame"):
+        Journal(tmp_path / "j").recover()
+
+
+def test_snapshot_compaction_bounds_wal_and_prunes(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=2)
+    journal.append_genesis(universe, (), None)
+    rings: list[Ring] = []
+    for i in range(7):
+        ring = Ring(f"r{i}", frozenset({f"t{(3 * i) % 24:02d}",
+                                        f"t{(3 * i + 1) % 24:02d}"}),
+                    c=1.0, ell=1, seq=i)
+        rings.append(ring)
+        journal.append_commit(i + 1, ring)
+        journal.maybe_snapshot(i + 1, universe, rings, None)
+    journal.close()
+
+    home = tmp_path / "j"
+    snapshots = sorted(p.name for p in home.glob("snapshot-*.json"))
+    # Compaction every 2 commits, keeping the 2 newest.
+    assert snapshots == ["snapshot-00000004.json", "snapshot-00000006.json"]
+    # The WAL holds only the post-snapshot tail.
+    frames, _, damage = scan_frames(home / "wal.jsonl")
+    assert damage is None
+    assert [f["epoch"] for f in frames] == [7]
+
+    recovered = Journal(home).recover()
+    assert recovered.epoch == 7
+    assert list(recovered.rings) == rings
+    assert recovered.recovery["snapshot_epoch"] == 6
+    assert recovered.recovery["frames_replayed"] == 1
+
+
+def test_recover_falls_back_past_a_corrupt_snapshot(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), None)
+    rings: list[Ring] = []
+    for i in range(4):
+        ring = Ring(f"r{i}", frozenset({f"t{i:02d}"}), c=1.0, ell=1, seq=i)
+        rings.append(ring)
+        journal.append_commit(i + 1, ring)
+        if i == 1:
+            journal.write_snapshot(2, universe, rings, None)
+    journal.close()
+    home = tmp_path / "j"
+    # Corrupt the newest snapshot: recovery must skip it and fall back
+    # to an older valid one (planted below) instead of aborting.
+    path = home / "snapshot-00000002.json"
+    good_line = path.read_text()
+    (home / "snapshot-00000001.json").write_text(
+        encode_frame(
+            {
+                "version": 1,
+                "op": "snapshot",
+                "epoch": 1,
+                "seq": 0,
+                "data": {
+                    "universe": {t: universe.ht_of(t) for t in sorted(universe.tokens)},
+                    "rings": [ring_to_doc(rings[0])],
+                    "batches": None,
+                },
+            }
+        )
+        + "\n"
+    )
+    path.write_text(good_line[:20] + "X" + good_line[21:])  # break the CRC
+
+    recovered = Journal(home).recover()
+    # Fallback snapshot is at epoch 1; frames 3 and 4 replay on top.
+    assert recovered.epoch == 4
+    assert [r.rid for r in recovered.rings] == ["r0", "r2", "r3"]
+    assert any("unusable" in note for note in recovered.recovery["notes"])
+
+
+def test_recover_truncates_torn_tail_and_reports(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), None)
+    ring = Ring("r0", frozenset({"t00", "t01"}), c=1.0, ell=1, seq=0)
+    journal.append_commit(1, ring)
+    journal.close()
+
+    wal = tmp_path / "j" / "wal.jsonl"
+    clean_size = wal.stat().st_size
+    # A crash mid-append: half a frame, no newline.
+    with open(wal, "a", encoding="utf-8") as handle:
+        handle.write(encode_frame({"op": "commit", "epoch": 2, "seq": 1})[:25])
+
+    recovered = Journal(tmp_path / "j").recover()
+    assert recovered.epoch == 1
+    assert [r.rid for r in recovered.rings] == ["r0"]
+    assert recovered.recovery["torn_tail"] is True
+    assert recovered.recovery["truncated_bytes"] > 0
+    assert "torn tail" in recovered.recovery["damage"]
+    # The truncation persisted: the next recovery sees a clean journal.
+    assert wal.stat().st_size == clean_size
+    again = Journal(tmp_path / "j").recover()
+    assert again.recovery["torn_tail"] is False
+    assert again.epoch == 1
+
+
+def test_recover_stops_at_corrupt_middle_frame(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), None)
+    for i in range(3):
+        journal.append_commit(
+            i + 1, Ring(f"r{i}", frozenset({f"t{i:02d}"}), c=1.0, ell=1, seq=i)
+        )
+    journal.close()
+    wal = tmp_path / "j" / "wal.jsonl"
+    lines = wal.read_text().splitlines()
+    lines[2] = lines[2][:4] + ("0" if lines[2][4] != "0" else "1") + lines[2][5:]
+    wal.write_text("\n".join(lines) + "\n")
+
+    recovered = Journal(tmp_path / "j").recover()
+    # Frames after the corrupt one are gone too — there is no way to
+    # trust anything past the first damage.
+    assert recovered.epoch == 1
+    assert [r.rid for r in recovered.rings] == ["r0"]
+    assert "CRC mismatch" in recovered.recovery["damage"]
+
+
+def test_double_appended_commit_frame_replays_once(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), None)
+    ring = Ring("r0", frozenset({"t00", "t01"}), c=1.0, ell=1, seq=0)
+    journal.append_commit(1, ring)
+    # A retried append that slipped through (same token, later key):
+    journal.append(
+        {
+            "version": 1,
+            "op": "commit",
+            "epoch": 2,
+            "seq": 1,
+            "token": ring.rid,
+            "data": ring_to_doc(ring),
+        }
+    )
+    journal.close()
+    recovered = Journal(tmp_path / "j").recover()
+    assert [r.rid for r in recovered.rings] == ["r0"]
+    assert recovered.epoch == 1  # the duplicate advanced nothing
+
+
+def test_journal_fault_sites_fire(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    ring = Ring("r0", frozenset({"t00"}), c=1.0, ell=1, seq=0)
+
+    def plan(site):
+        return faults.FaultPlan(
+            [faults.FaultSpec(site=site, action="io_error")], seed=0
+        )
+
+    with faults.injecting(plan("journal.append")):
+        with pytest.raises(faults.InjectedIOError):
+            journal.append_genesis(universe, (), None)
+    journal.append_genesis(universe, (), None)
+    with faults.injecting(plan("journal.fsync")):
+        with pytest.raises(faults.InjectedIOError):
+            journal.append_commit(1, ring)
+    journal.close()
+    with faults.injecting(plan("journal.replay")):
+        with pytest.raises(faults.InjectedIOError):
+            Journal(tmp_path / "j").recover()
+
+
+def test_journal_stats_and_metrics_lines(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=2, snapshot_every=0)
+    journal.append_genesis(universe, (), None)
+    journal.append_commit(
+        1, Ring("r0", frozenset({"t00"}), c=1.0, ell=1, seq=0)
+    )
+    stats = journal.stats()
+    assert stats["sync_every"] == 2
+    assert stats["appends"] == 2
+    assert stats["lag_frames"] == 1  # one unsynced frame outstanding
+    journal.sync()
+    assert journal.stats()["lag_frames"] == 0
+    journal.close()
+
+    text = metrics_lines(stats, {"frames_replayed": 3, "snapshot_epoch": 2,
+                                 "torn_tail": True, "truncated_bytes": 17})
+    assert "repro_service_journal_appends_total 2" in text
+    assert "repro_service_recovered_frames_replayed 3" in text
+    assert "repro_service_recovered_torn_tail 1" in text
+    assert metrics_lines(None, None) == ""
+
+
+# -- service-level recovery equivalence --------------------------------------
+
+
+def select_battery(partition: TokenPartition) -> list[SelectRequest]:
+    """Exact selects on unconsumed targets, two per batch.
+
+    The commit helpers below consume only the low indexes of each
+    batch slice, so slots 4 and 5 stay free — exact solves on the
+    6-token batch slices stay cheap (the full 24-token universe in
+    exact mode blows up combinatorially once rings accumulate).
+    """
+    requests = []
+    for b in range(partition.batches):
+        for j, slot in enumerate((4, 5)):
+            requests.append(
+                SelectRequest(
+                    request_id=f"b{b}-{j}",
+                    target=partition.tokens_of(b)[slot],
+                    c=2.0, ell=2, mode="exact",
+                )
+            )
+    return requests
+
+
+def test_daemon_recovery_matches_uncrashed_twin(tmp_path):
+    universe = recovery_universe()
+    part = TokenPartition(universe, batches=4)
+    commits = [
+        (f"r{i}", sorted(part.tokens_of(i)[0:3])) for i in range(4)
+    ]
+
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=3)
+    journal.append_genesis(universe, (), 4)
+    with SelectionService(
+        universe, config=ServiceConfig(journal=journal, partition=4)
+    ) as crashed:
+        for i, (rid, tokens) in enumerate(commits):
+            crashed.submit_wait(
+                SelectRequest(request_id=f"w{i}",
+                              target=part.tokens_of(i)[4],
+                              c=2.0, ell=2, mode="exact"),
+                timeout=60.0,
+            )
+            crashed.commit_ring(tokens, c=1.0, ell=1, rid=rid)
+    # "Crash": the journal is simply never closed gracefully by the
+    # service; every commit frame is already fsynced.
+
+    recovered = Journal(tmp_path / "j").recover()
+    assert recovered.epoch == 4
+    assert recovered.batches == 4
+    twin = SelectionService(
+        recovered.universe,
+        recovered.rings,
+        ServiceConfig(partition=recovered.batches),
+        epoch=recovered.epoch,
+        recovered=recovered.recovery,
+    )
+    uncrashed = SelectionService(universe, config=ServiceConfig(partition=4))
+    for rid, tokens in commits:
+        uncrashed.commit_ring(tokens, c=1.0, ell=1, rid=rid)
+    with twin, uncrashed:
+        for request in select_battery(part):
+            a = twin.submit_wait(request, timeout=60.0)
+            b = uncrashed.submit_wait(request, timeout=60.0)
+            assert a.epoch == 4 and b.epoch == 4
+            assert canon(a) == canon(b)
+
+        # The typed recovered block reaches stats, health and metrics.
+        stats = twin.stats()
+        assert stats["recovered"]["snapshot_epoch"] == 3
+        assert stats["recovered"]["frames_replayed"] == 1
+        assert stats["recovered"]["torn_tail"] is False
+        assert twin.health()["recovered"]["frames_replayed"] == 1
+        assert "repro_service_recovered_frames_replayed 1" in twin.metrics_text()
+
+
+def test_journaled_commit_is_idempotent_by_rid(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), None)
+    service = SelectionService(universe, config=ServiceConfig(journal=journal))
+    first = service.commit_ring(["t00", "t01"], c=1.0, ell=1, rid="dup")
+    replay = service.commit_ring(["t00", "t01"], c=1.0, ell=1, rid="dup")
+    assert first.epoch == 1 and replay.epoch == 1
+    assert service.counters["commits.replayed"] == 1
+    journal.close()
+    # Only one frame landed: the replay never touched the WAL.
+    frames, _, _ = scan_frames(tmp_path / "j" / "wal.jsonl")
+    assert [f.get("token") for f in frames] == [None, "dup"]
+
+
+def test_doomed_commit_never_lands_a_wal_frame(tmp_path):
+    universe = recovery_universe()
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), 4)
+    part = TokenPartition(universe, batches=4)
+    spanning = [part.tokens_of(0)[0], part.tokens_of(1)[0]]
+    service = SelectionService(
+        universe, config=ServiceConfig(journal=journal, partition=4)
+    )
+    with pytest.raises(ValueError, match="spans batches"):
+        service.commit_ring(spanning, c=1.0, ell=1)
+    journal.close()
+    frames, _, _ = scan_frames(tmp_path / "j" / "wal.jsonl")
+    assert len(frames) == 1  # genesis only
+
+
+def test_router_recovery_matches_uncrashed_twin(tmp_path):
+    universe = recovery_universe()
+    part = TokenPartition(universe, batches=4)
+    commits = [
+        (f"r{i}", sorted(part.tokens_of(i % 4)[0:3])) for i in range(4)
+    ]
+    requests = [
+        SelectRequest(request_id=f"q{i}", target=part.tokens_of(i)[4],
+                      c=2.0, ell=2, mode="exact")
+        for i in range(4)
+    ]
+
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), 4)
+    with ShardRouter(
+        universe, config=RouterConfig(shards=2, batches=4, journal=journal)
+    ) as crashed:
+        for rid, tokens in commits:
+            crashed.commit_ring(tokens, c=1.0, ell=1, rid=rid)
+
+    recovered = Journal(tmp_path / "j").recover()
+    assert recovered.epoch == 4 and recovered.batches == 4
+    with ShardRouter(
+        recovered.universe,
+        recovered.rings,
+        config=RouterConfig(shards=2, batches=recovered.batches),
+        epoch=recovered.epoch,
+        recovered=recovered.recovery,
+    ) as twin, ShardRouter(
+        universe, config=RouterConfig(shards=2, batches=4)
+    ) as uncrashed:
+        for rid, tokens in commits:
+            uncrashed.commit_ring(tokens, c=1.0, ell=1, rid=rid)
+        got = twin.submit_wait_many(requests, timeout=60.0)
+        want = uncrashed.submit_wait_many(requests, timeout=60.0)
+        assert [canon(a) for a in got] == [canon(b) for b in want]
+        assert all(r.epoch == 4 for r in got)
+        stats = twin.stats()
+        assert stats["recovered"]["frames_replayed"] == 4
+        assert "repro_service_recovered_frames_replayed 4" in twin.metrics_text()
+
+
+# -- the pidfile guard -------------------------------------------------------
+
+
+def test_pidfile_refuses_live_owner_and_reclaims_stale(tmp_path):
+    target = tmp_path / "daemon.pid"
+    sleeper = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+    try:
+        target.write_text(f"{sleeper.pid}\n")
+        with pytest.raises(AlreadyRunning, match=f"pid {sleeper.pid}"):
+            PidFile(target).acquire()
+    finally:
+        sleeper.kill()
+        sleeper.wait()
+    # The owner is dead now: the stale pidfile is reclaimed silently.
+    assert not pid_alive(sleeper.pid)
+    guard = PidFile(target).acquire()
+    assert guard.read() == os.getpid()
+    guard.release()
+    assert not target.exists()
+
+
+def test_pidfile_garbled_content_is_reclaimed(tmp_path):
+    target = tmp_path / "daemon.pid"
+    target.write_text("not-a-pid\n")
+    with PidFile(target) as guard:
+        assert guard.read() == os.getpid()
+    assert not target.exists()
+
+
+def test_pidfile_release_spares_a_reclaimed_file(tmp_path):
+    target = tmp_path / "daemon.pid"
+    guard = PidFile(target).acquire()
+    target.write_text("424242\n")  # someone else took over
+    guard.release()
+    assert target.read_text() == "424242\n"
+
+
+# -- typed transport loss + idempotent retry ---------------------------------
+
+
+def test_connect_refused_raises_service_unavailable(tmp_path):
+    with pytest.raises(ServiceUnavailable, match="cannot connect"):
+        ServiceClient(tmp_path / "nope.sock")
+
+
+class FlakyServer:
+    """A unix-socket server that mistreats its first connections.
+
+    ``crash_mode``:
+
+    * ``"before_apply"`` — read the request, apply nothing, close:
+      the daemon died before the commit landed;
+    * ``"after_apply"`` — read the request, apply it to the service,
+      close *without replying*: the commit landed but the ack was
+      lost — the resend must deduplicate.
+
+    Connections after the first ``crashes`` speak the real protocol
+    (lockstep, via :func:`repro.service.server.handle_line`).
+    """
+
+    def __init__(self, path, service, crashes=1, crash_mode="before_apply"):
+        self.path = os.fspath(path)
+        self.service = service
+        self.crashes = crashes
+        self.crash_mode = crash_mode
+        self.connections = 0
+        self._stop = threading.Event()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        assert self._ready.wait(5.0)
+        return self
+
+    def __exit__(self, *exc_info):
+        self._stop.set()
+        self.thread.join(timeout=5.0)
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def _run(self):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as listener:
+            listener.bind(self.path)
+            listener.listen()
+            listener.settimeout(0.1)
+            self._ready.set()
+            while not self._stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                self.connections += 1
+                with conn:
+                    if self.connections <= self.crashes:
+                        data = conn.recv(65536)
+                        if self.crash_mode == "after_apply" and data:
+                            line = data.decode().splitlines()[0]
+                            handle_line(self.service, line)
+                        continue  # close without replying: "crash"
+                    buffer = b""
+                    conn.settimeout(0.1)
+                    while not self._stop.is_set():
+                        try:
+                            chunk = conn.recv(65536)
+                        except socket.timeout:
+                            continue
+                        except OSError:
+                            break
+                        if not chunk:
+                            break
+                        buffer += chunk
+                        while b"\n" in buffer:
+                            raw, buffer = buffer.split(b"\n", 1)
+                            response, _ = handle_line(self.service, raw.decode())
+                            conn.sendall((response + "\n").encode())
+
+
+def test_peer_death_mid_request_raises_typed_error(tmp_path):
+    universe = recovery_universe()
+    service = SelectionService(universe, config=ServiceConfig(telemetry=False))
+    with FlakyServer(tmp_path / "svc.sock", service, crashes=1) as server:
+        client = ServiceClient(server.path)  # no retry configured
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.stats()
+        # Typed, not a bare BrokenPipeError/ConnectionResetError.
+        assert not isinstance(excinfo.value, BrokenPipeError)
+        assert "closed the connection" in str(excinfo.value)
+        client.close()
+
+
+def test_retry_resends_after_lost_ack_without_double_commit(tmp_path):
+    universe = recovery_universe()
+    service = SelectionService(universe, config=ServiceConfig(telemetry=False))
+    # The nastier half of exactly-once: the commit APPLIED, the ack
+    # was lost.  The resend must be deduplicated by rid.
+    with FlakyServer(
+        tmp_path / "svc.sock", service, crashes=1, crash_mode="after_apply"
+    ) as server:
+        client = ServiceClient(
+            server.path,
+            retry=RetrySpec(deadline_s=10.0, base_delay_s=0.01, seed=1),
+        )
+        ack = client.commit(["t00", "t01"], c=1.0, ell=1, rid="once")
+        assert ack["status"] == "ok"
+        assert ack["epoch"] == 1 and ack["rings"] == 1
+        assert service.state.epoch == 1  # applied exactly once
+        client.close()
+
+
+def test_retry_applies_commit_lost_before_the_frame(tmp_path):
+    universe = recovery_universe()
+    service = SelectionService(universe, config=ServiceConfig(telemetry=False))
+    with FlakyServer(
+        tmp_path / "svc.sock", service, crashes=1, crash_mode="before_apply"
+    ) as server:
+        client = ServiceClient(
+            server.path,
+            retry=RetrySpec(deadline_s=10.0, base_delay_s=0.01, seed=1),
+        )
+        ack = client.commit(["t02", "t03"], c=1.0, ell=1)  # rid auto-generated
+        assert ack["status"] == "ok" and ack["epoch"] == 1
+        assert service.state.epoch == 1
+        client.close()
+
+
+def test_retry_deadline_exhaustion_reports_attempts(tmp_path):
+    with pytest.raises(ServiceUnavailable, match=r"attempt\(s\) within"):
+        ServiceClient(
+            tmp_path / "never.sock",
+            retry=RetrySpec(deadline_s=0.3, base_delay_s=0.05, seed=2),
+        )
+
+
+def test_client_reconnect_fault_site_fires(tmp_path):
+    plan = faults.FaultPlan(
+        [faults.FaultSpec(site="client.reconnect", action="error",
+                          at_index=None, on_attempt=0)],
+        seed=0,
+    )
+    with faults.injecting(plan):
+        with pytest.raises(faults.InjectedFault, match="client.reconnect"):
+            ServiceClient(
+                tmp_path / "never.sock",
+                retry=RetrySpec(deadline_s=0.5, base_delay_s=0.01, seed=3),
+            )
+
+
+def test_shutdown_is_never_retried(tmp_path):
+    universe = recovery_universe()
+    service = SelectionService(universe, config=ServiceConfig(telemetry=False))
+    with FlakyServer(tmp_path / "svc.sock", service, crashes=2) as server:
+        client = ServiceClient(
+            server.path,
+            retry=RetrySpec(deadline_s=5.0, base_delay_s=0.01, seed=4),
+        )
+        with pytest.raises(ServiceUnavailable):
+            client.shutdown()
+        assert server.connections == 1  # no reconnect attempt
+        client.close()
+
+
+# -- the seeded SIGKILL soak -------------------------------------------------
+
+
+def serve_command(sock: Path, journal: Path) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--socket", str(sock),
+        "--journal", str(journal),
+        "--tokens", "24", "--hts", "6", "--seed", "3",
+        "--batches", "4",
+        "--snapshot-every", "4",
+    ]
+
+
+def start_daemon(sock: Path, journal: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        serve_command(sock, journal),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 20.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon exited early ({proc.returncode}): {proc.stderr.read()}"
+            )
+        try:
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.connect(str(sock))
+            probe.close()
+            return proc
+        except OSError:
+            time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("daemon never became ready")
+
+
+@pytest.mark.slow
+def test_sigkill_soak_recovers_byte_identical(tmp_path):
+    """SIGKILL the daemon at seeded points under commit-interleaved load.
+
+    Every acknowledged commit must be present after each restart, the
+    retrying client must complete all of them exactly once, and the
+    recovered daemon's answers must be byte-identical to an uncrashed
+    in-process twin that applied the same commits in the same order.
+    """
+    sock = tmp_path / "soak.sock"
+    journal_dir = tmp_path / "journal"
+    # Batch-local pairs (the serve partition is 4 contiguous 6-token
+    # slices): commit i consumes two low-index tokens of batch i % 4,
+    # leaving slots 4 and 5 of every batch free for the selects.
+    commits = [
+        (f"soak:{i}",
+         [f"t{6 * (i % 4) + 2 * (i // 4):02d}",
+          f"t{6 * (i % 4) + 2 * (i // 4) + 1:02d}"])
+        for i in range(8)
+    ]
+    rng = random.Random(20260808)
+    kill_after = sorted(rng.sample(range(1, len(commits) - 1), 2))
+
+    proc = start_daemon(sock, journal_dir)
+    client = ServiceClient(
+        sock, timeout=30.0,
+        retry=RetrySpec(deadline_s=30.0, base_delay_s=0.05, seed=11),
+    )
+    acked: list[str] = []
+    errors: list[BaseException] = []
+
+    def drive() -> None:
+        try:
+            for i, (rid, tokens) in enumerate(commits):
+                client.select(
+                    target=f"t{6 * (i % 4) + 4:02d}", c=2.0, ell=2,
+                    mode="exact", request_id=f"load{i}",
+                )
+                ack = client.commit(tokens, c=1.0, ell=1, rid=rid)
+                assert ack["status"] == "ok", ack
+                acked.append(rid)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            errors.append(exc)
+
+    driver = threading.Thread(target=drive, daemon=True)
+    driver.start()
+    try:
+        for kill_point in kill_after:
+            # Seeded-but-randomized: wait until the driver has acked
+            # `kill_point` commits, then SIGKILL mid-traffic after a
+            # seeded extra delay (the next commit is likely in flight).
+            deadline = time.monotonic() + 60.0
+            while len(acked) < kill_point and time.monotonic() < deadline:
+                time.sleep(0.01)
+            time.sleep(rng.uniform(0.0, 0.1))
+            proc.kill()  # SIGKILL — no cleanup, no flush, no goodbye
+            proc.wait()
+            proc = start_daemon(sock, journal_dir)
+        driver.join(timeout=120.0)
+        assert not driver.is_alive(), "driver never finished"
+        assert not errors, errors
+        assert acked == [rid for rid, _ in commits]
+
+        # Every acknowledged commit survived; the epoch counted each
+        # exactly once.
+        status = client.epoch()
+        assert status["epoch"] == len(commits)
+        assert status["rings"] == len(commits)
+
+        stats = client.stats()
+        assert "journal" in stats
+        assert "recovered" in stats  # this daemon was itself a replay
+        assert stats["recovered"]["frames_replayed"] >= 0
+
+        # Byte-identical replay: an uncrashed in-process twin applies
+        # the same commits in the same order.
+        universe = recovery_universe()
+        twin = SelectionService(universe, config=ServiceConfig(partition=4))
+        for rid, tokens in commits:
+            twin.commit_ring(tokens, c=1.0, ell=1, rid=rid)
+        with twin:
+            for request in select_battery(TokenPartition(universe, batches=4)):
+                live = client.select(
+                    target=request.target, c=request.c, ell=request.ell,
+                    mode=request.mode, request_id=request.request_id,
+                )
+                local = twin.submit_wait(request, timeout=60.0)
+                assert live.epoch == len(commits)
+                assert canon(live) == canon(local)
+        client.shutdown()
+        proc.wait(timeout=30.0)
+        proc = None
+    finally:
+        client.close()
+        if proc is not None:
+            proc.kill()
+            proc.wait()
+
+    # The journal on disk is internally consistent (the fsck pass).
+    recovered = Journal(journal_dir).recover(truncate=False)
+    assert recovered.epoch == len(commits)
+    assert [r.rid for r in recovered.rings] == [rid for rid, _ in commits]
+
+
+def test_serve_refuses_second_daemon_on_same_journal(tmp_path):
+    sock = tmp_path / "one.sock"
+    journal_dir = tmp_path / "journal"
+    proc = start_daemon(sock, journal_dir)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        second = subprocess.run(
+            serve_command(tmp_path / "two.sock", journal_dir),
+            env=env, capture_output=True, text=True, timeout=30.0,
+        )
+        assert second.returncode == 69  # EX_UNAVAILABLE
+        assert "refusing" in second.stderr
+        with ServiceClient(sock) as client:
+            client.shutdown()
+        proc.wait(timeout=30.0)
+        proc = None
+    finally:
+        if proc is not None:
+            proc.kill()
+            proc.wait()
+    # The first daemon exited cleanly: its pidfile is gone, so a
+    # restart owns the journal again (and replays genesis).
+    third = start_daemon(sock, journal_dir)
+    try:
+        with ServiceClient(sock) as client:
+            assert client.epoch()["epoch"] == 0
+            client.shutdown()
+        third.wait(timeout=30.0)
+        third = None
+    finally:
+        if third is not None:
+            third.kill()
+            third.wait()

@@ -313,6 +313,63 @@ def test_commits_survive_a_shard_loss_between_batches():
     assert canon(after) == canon(calm_after)
 
 
+def test_retry_exhaustion_is_a_typed_internal_error():
+    """A shard that dies on *every* attempt exhausts the supervised
+    retry budget: the batch answers with a typed ``internal_error``
+    carrying the attempt count (never an unhandled exception), and the
+    resilience counters match the injected plan exactly — three deaths
+    = two retries observed + one worker lost."""
+    universe = shard_universe()
+    plan = {
+        "version": 1,
+        "seed": 0,
+        "faults": [
+            {"site": "shard.batch", "action": "die",
+             "at_index": 0, "on_attempt": attempt}
+            for attempt in range(3)
+        ],
+    }
+    clock = ManualClock()
+    # Every attempt dies at dispatch, so a short hang timeout keeps
+    # the three doomed attempts cheap; the healthy follow-up solve is
+    # milliseconds against a 6-token batch slice.
+    config = RouterConfig(
+        shards=2,
+        batches=4,
+        fault_plan=plan,
+        clock=clock,
+        retry=RetryPolicy(max_retries=2, hang_timeout=3.0, death_grace=0.25),
+    )
+    with ShardRouter(universe, config=config) as router:
+        doomed = router.submit_wait(
+            SelectRequest(request_id="x0", target="t00", c=2.0, ell=2,
+                          mode="exact"),
+            timeout=60.0,
+        )
+        assert doomed.status == "error"
+        assert doomed.code == "internal_error"
+        assert "3 attempt(s)" in doomed.detail
+
+        assert router.counters.get("shard.retries") == 2
+        assert router.counters.get("shard.worker_lost") == 1
+        assert router.telemetry.window_count("shard.retries") == 2
+        assert router.telemetry.window_count("shard.worker_lost") == 1
+        health = router.health()
+        assert health["health"] == "degraded"
+        assert any("shard.worker_lost=1" in r for r in health["reasons"])
+
+        # The exhaustion was scoped to that batch: the respawned
+        # worker (fresh fault counters, dispatch seq past every
+        # at_index=0 spec) serves the same target fine.
+        follow = router.submit_wait(
+            SelectRequest(request_id="x1", target="t00", c=2.0, ell=2,
+                          mode="exact"),
+            timeout=60.0,
+        )
+        assert follow.status == "ok"
+        assert follow.request_id == "x1"
+
+
 # -- fleet observability -----------------------------------------------------
 
 

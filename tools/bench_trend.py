@@ -67,6 +67,20 @@ METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         ("headline", "speedup_vs_single"),
         "higher",
     ),
+    # Not overhead_pct: it hovers around zero and can go negative
+    # (fsync cost inside run-to-run noise), which makes a percentage
+    # regression check meaningless.  The journaled throughput carries
+    # the same signal with a stable sign.
+    "recovery.journal_rps": (
+        "BENCH_recovery.json",
+        ("headline", "journal_rps"),
+        "higher",
+    ),
+    "recovery.replay_rings_per_s": (
+        "BENCH_recovery.json",
+        ("headline", "replay_rings_per_s"),
+        "higher",
+    ),
 }
 
 
