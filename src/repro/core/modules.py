@@ -158,6 +158,79 @@ class ModuleUniverse:
             ring.rid: subset_count(ring, self.rings) for ring in self.rings
         }
 
+    def extended(self, ring: Ring) -> tuple["ModuleUniverse", bool]:
+        """This decomposition after appending ``ring`` to the history.
+
+        Returns ``(universe, incremental)``.  The result is exactly
+        ``ModuleUniverse(self.universe, self.rings + [ring])`` — the
+        second element only reports *how* it was built.
+
+        The incremental path applies when ``ring`` is strictly newer
+        than everything here and obeys the first practical
+        configuration (superset-or-disjoint, Thm 6.1): then the
+        decomposition changes only locally —
+
+        * ``ring`` becomes a super RS (nothing later exists), and the
+          only rings that *lose* super status are its strict subsets;
+        * the only tokens that stop being fresh are ``ring``'s;
+        * token→module assignments move only for ``ring``'s tokens;
+        * subset counts v_i grow only where ``ring.tokens <= r.tokens``.
+
+        Everything else — surviving :class:`Module` objects included —
+        is shared with ``self``.  Any other ring (stale seq, or a
+        configuration-1 violation) falls back to a full rebuild.
+        """
+        max_seq = max((r.seq for r in self.rings), default=None)
+        if (max_seq is not None and ring.seq <= max_seq) or not is_superset_or_disjoint(
+            ring.tokens, self.rings
+        ):
+            return ModuleUniverse(self.universe, self.rings + [ring]), False
+
+        new = ModuleUniverse.__new__(ModuleUniverse)
+        new.universe = self.universe
+        new.rings = self.rings + [ring]
+        # Def 7 sweep, localized: the new ring is later than everything,
+        # so exactly its strict subsets stop being super RSs; rebuild
+        # order (original index order, new ring last) is preserved.
+        new.super_rings = [
+            s for s in self.super_rings if not s.tokens < ring.tokens
+        ] + [ring]
+        new.fresh_tokens = [t for t in self.fresh_tokens if t not in ring.tokens]
+        reused = {
+            module.mid: module for module in self.modules if module.is_super
+        }
+        ring_module = Module(
+            mid=f"s:{ring.rid}", tokens=ring.tokens, is_super=True,
+            source_rid=ring.rid,
+        )
+        reused[ring_module.mid] = ring_module
+        fresh_modules = {
+            module.mid: module for module in self.modules if not module.is_super
+        }
+        new.modules = [reused[f"s:{s.rid}"] for s in new.super_rings] + [
+            fresh_modules[f"f:{t}"] for t in new.fresh_tokens
+        ]
+        new._module_of_token = dict(self._module_of_token)
+        for token in ring.tokens:
+            current = new._module_of_token.get(token)
+            # Under configuration 1 any surviving module overlapping the
+            # ring has tokens ⊆ ring.tokens; only an equal-size (hence
+            # equal-set) earlier super RS keeps the token (the rebuild's
+            # strictly-larger-wins rule prefers the first of equals).
+            if (
+                current is None
+                or not current.is_super
+                or len(current.tokens) < len(ring.tokens)
+            ):
+                new._module_of_token[token] = ring_module
+        new._subset_counts = {
+            r.rid: self._subset_counts[r.rid]
+            + (1 if ring.tokens <= r.tokens else 0)
+            for r in self.rings
+        }
+        new._subset_counts[ring.rid] = subset_count(ring, new.rings)
+        return new, True
+
     def module_of(self, token: str) -> Module:
         """The module containing ``token`` (Algorithm 4 line 1)."""
         try:

@@ -32,7 +32,7 @@ from ...resilience import faults
 from ..ring import Ring, TokenUniverse
 from .worlds import WorldSet
 
-__all__ = ["SolverCache", "CacheStats"]
+__all__ = ["SolverCache", "CacheStats", "CacheAdvance"]
 
 
 @dataclass(slots=True)
@@ -47,6 +47,25 @@ class CacheStats:
     @property
     def worlds_queries(self) -> int:
         return self.worlds_hits + self.worlds_misses
+
+
+@dataclass(slots=True)
+class CacheAdvance:
+    """What one :meth:`SolverCache.advance` kept and dropped.
+
+    Attributes:
+        touched_components: component ids the new ring's tokens hit
+            (empty when the ring opened a fresh component).
+        worlds_retained / worlds_invalidated: cached :class:`WorldSet`
+            entries carried into / dropped from the advanced cache.
+        kernel_retained / kernel_invalidated: same for kernel states.
+    """
+
+    touched_components: frozenset[int] = frozenset()
+    worlds_retained: int = 0
+    worlds_invalidated: int = 0
+    kernel_retained: int = 0
+    kernel_invalidated: int = 0
 
 
 @dataclass(slots=True)
@@ -115,6 +134,79 @@ class SolverCache:
             self._components[cid].ring_indices.append(index)
         for token, owner in first_ring_of_token.items():
             self._component_of_token[token] = cid_of_root[find(owner)]
+
+    # -- incremental advance ----------------------------------------------
+
+    def advance(self, ring: Ring) -> tuple["SolverCache", CacheAdvance]:
+        """A new cache for ``rings + [ring]`` keeping every untouched entry.
+
+        The token-overlap components the new ring's tokens do *not*
+        reach are left byte-for-byte alone by an append: their ring
+        lists, related closures and hence their cached
+        :class:`WorldSet`/kernel-state entries are still exact, so they
+        are carried into the new cache (Thm 6.1's locality made
+        operational).  Entries whose component-set key intersects a
+        touched component are dropped — those closures gained a ring.
+
+        ``self`` is not mutated: requests still in flight against the
+        old snapshot keep solving against the old cache.  Shared
+        :class:`WorldSet` objects are safe to alias — their content is
+        a pure function of the ring list they were built from.
+
+        Returns the advanced cache and a :class:`CacheAdvance` report.
+        """
+        new = SolverCache.__new__(SolverCache)
+        new.universe = self.universe
+        new.rings = self.rings + [ring]
+        new.stats = CacheStats()
+        new._component_of_token = dict(self._component_of_token)
+        new._components = [
+            _Component(cid=comp.cid, ring_indices=list(comp.ring_indices))
+            for comp in self._components
+        ]
+        touched = frozenset(
+            cid
+            for token in ring.tokens
+            if (cid := new._component_of_token.get(token)) is not None
+        )
+        index = len(self.rings)
+        if not touched:
+            cid = len(new._components)
+            new._components.append(_Component(cid=cid, ring_indices=[index]))
+            for token in ring.tokens:
+                new._component_of_token[token] = cid
+        else:
+            target = min(touched)
+            merged = new._components[target]
+            for cid in sorted(touched - {target}):
+                vacated = new._components[cid]
+                merged.ring_indices.extend(vacated.ring_indices)
+                vacated.ring_indices = []
+            merged.ring_indices.append(index)
+            if len(touched) > 1:
+                for token, cid in new._component_of_token.items():
+                    if cid in touched:
+                        new._component_of_token[token] = target
+            for token in ring.tokens:
+                new._component_of_token[token] = target
+        new._worlds = {
+            key: worlds
+            for key, worlds in self._worlds.items()
+            if key.isdisjoint(touched)
+        }
+        new._kernel_states = {
+            state_key: entry
+            for state_key, entry in self._kernel_states.items()
+            if state_key[0].isdisjoint(touched)
+        }
+        report = CacheAdvance(
+            touched_components=touched,
+            worlds_retained=len(new._worlds),
+            worlds_invalidated=len(self._worlds) - len(new._worlds),
+            kernel_retained=len(new._kernel_states),
+            kernel_invalidated=len(self._kernel_states) - len(new._kernel_states),
+        )
+        return new, report
 
     # -- related-ring closures --------------------------------------------
 

@@ -8,7 +8,9 @@ through a long-lived daemon instead of one-shot CLI invocations:
   responses, typed rejection/error codes);
 * :mod:`repro.service.state` — chain snapshot epochs and the per-epoch
   warm :class:`~repro.core.perf.cache.SolverCache` /
-  :class:`~repro.core.modules.ModuleUniverse`;
+  :class:`~repro.core.modules.ModuleUniverse`, advanced across commits
+  either cold (``replace``) or incrementally (``delta``,
+  :class:`EpochDelta`);
 * :mod:`repro.service.batching` — bounded admission and epoch-aware
   micro-batching;
 * :mod:`repro.service.daemon` — :class:`SelectionService`, the worker
@@ -51,7 +53,7 @@ from .protocol import (
 )
 from .router import RouterConfig, ShardRouter
 from .server import serve_socket, serve_stdio
-from .state import ChainSnapshot, ServiceState
+from .state import EPOCH_MODES, ChainSnapshot, EpochDelta, ServiceState
 from .telemetry import ServiceTelemetry
 
 __all__ = [
@@ -64,6 +66,8 @@ __all__ = [
     "AdmissionQueue",
     "Batch",
     "ChainSnapshot",
+    "EpochDelta",
+    "EPOCH_MODES",
     "ServiceState",
     "ServiceConfig",
     "PendingResult",

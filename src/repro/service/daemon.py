@@ -120,6 +120,13 @@ class ServiceConfig:
             in-memory state mutates, so a crash at any point loses no
             acknowledged commit.  ``None`` (the default) keeps the
             purely in-memory behaviour.
+        epoch_mode: what a commit does to the warm caches —
+            ``"replace"`` (the default) rebuilds the snapshot cold;
+            ``"delta"`` advances it via
+            :meth:`~repro.service.state.ChainSnapshot.advance`, keeping
+            warm state for every component/batch the new ring does not
+            touch.  Responses are byte-identical in either mode; only
+            latency and the ``delta.*`` counters differ.
     """
 
     max_queue: int = 256
@@ -132,6 +139,7 @@ class ServiceConfig:
     clock: Clock | None = None
     partition: int | TokenPartition | None = None
     journal: Journal | None = None
+    epoch_mode: str = "replace"
 
 
 @dataclass(slots=True)
@@ -200,7 +208,13 @@ class SelectionService:
         # order state mutations apply (commits arrive concurrently
         # from independent socket connections).
         self._commit_lock = threading.Lock()
-        self.state = ServiceState(universe, rings, partition=partition, epoch=epoch)
+        self.state = ServiceState(
+            universe,
+            rings,
+            partition=partition,
+            epoch=epoch,
+            epoch_mode=self.config.epoch_mode,
+        )
         self.queue: AdmissionQueue[PendingResult] = AdmissionQueue(
             max_depth=self.config.max_queue,
             max_batch=self.config.max_batch,
@@ -379,6 +393,8 @@ class SelectionService:
             "refused": self.queue.refused,
             "epochs_advanced": self.state.epochs_advanced,
             "caches_invalidated": self.state.caches_invalidated,
+            "epoch_mode": self.state.epoch_mode,
+            "delta": dict(self.state.delta_counters),
             "counters": counters,
         }
         if self.journal is not None:
@@ -415,6 +431,8 @@ class SelectionService:
                 max_queue=self.queue.max_depth,
                 draining=draining,
             )
+        payload["epoch_mode"] = self.state.epoch_mode
+        payload["delta_commits"] = self.state.delta_counters["commits"]
         if self.recovered is not None:
             payload["recovered"] = dict(self.recovered)
         return payload
@@ -423,6 +441,10 @@ class SelectionService:
         """The ``metrics`` op's body: Prometheus text exposition."""
         with self._counters_lock:
             counters = dict(sorted(self.counters.items()))
+        counters.update(
+            (f"delta.{name}", value)
+            for name, value in sorted(self.state.delta_counters.items())
+        )
         if self.telemetry is None:
             from ..obs.telemetry import render_prometheus
 
@@ -822,6 +844,7 @@ def _shard_sync(service: SelectionService, sync: Mapping) -> SelectionService:
         tuple(sync["rings"]),
         partition=service.partition,
         epoch=int(sync["epoch"]),
+        epoch_mode=service.state.epoch_mode,
     )
     return service
 
@@ -871,6 +894,10 @@ def _shard_call(payload: Mapping):
         labels = {"shard": str(shard["index"])}
         with service._counters_lock:
             counters = dict(sorted(service.counters.items()))
+        counters.update(
+            (f"delta.{name}", value)
+            for name, value in sorted(service.state.delta_counters.items())
+        )
         if service.telemetry is None:
             from ..obs.telemetry import render_prometheus
 

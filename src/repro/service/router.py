@@ -134,6 +134,12 @@ class RouterConfig:
             same write-ahead discipline as the single daemon; workers
             never touch the journal (they are rebuilt from the mirror
             on respawn/sync).
+        epoch_mode: the shard workers' commit behaviour — ``"replace"``
+            keeps PR-8 semantics (the touched batch starts cold,
+            untouched batches carry over); ``"delta"`` additionally
+            delta-advances the *touched* batch's warm state
+            (:meth:`~repro.service.state.ChainSnapshot.advance`).
+            Responses are byte-identical in either mode.
     """
 
     shards: int = 2
@@ -150,6 +156,7 @@ class RouterConfig:
         default_factory=lambda: RetryPolicy(max_retries=2, hang_timeout=120.0)
     )
     journal: Journal | None = None
+    epoch_mode: str = "replace"
 
 
 class _Shard:
@@ -209,7 +216,13 @@ class ShardRouter:
         # The router's own chain mirror: source of truth for epoch,
         # ring log (sync payloads) and commit validation.  Its caches
         # are never built — solving happens in the workers.
-        self.state = ServiceState(universe, rings, partition=self.partition, epoch=epoch)
+        self.state = ServiceState(
+            universe,
+            rings,
+            partition=self.partition,
+            epoch=epoch,
+            epoch_mode=self.config.epoch_mode,
+        )
         self._universe = universe
         self._rings0 = tuple(rings)
         self._epoch0 = epoch
@@ -252,6 +265,7 @@ class ShardRouter:
             default_budget=self.config.default_budget,
             workers=self.config.workers,
             telemetry=self.config.telemetry,
+            epoch_mode=self.config.epoch_mode,
         )
         fault_doc = (
             None if self.config.fault_plan is None else dict(self.config.fault_plan)
@@ -581,7 +595,23 @@ class ShardRouter:
             "p99_s": hist.get("p99"),
             "rungs": raw.get("resilience", {}).get("rung_served", {}),
             "caches_invalidated": raw.get("caches_invalidated", 0),
+            "delta": raw.get("delta", {}),
         }
+
+    def _aggregate_delta(self, rows: list) -> dict:
+        """Fleet-wide ``delta.*`` counters.
+
+        ``commits`` comes from the router's mirror (every shard applies
+        every broadcast commit, so summing the per-shard count would
+        multiply it by the fleet size); the retention/invalidation
+        counters are genuine per-shard work and are summed.
+        """
+        total = dict(self.state.delta_counters)
+        for row in rows:
+            for name, value in row.get("delta", {}).items():
+                if name != "commits":
+                    total[name] = total.get(name, 0) + int(value)
+        return total
 
     def stats(self) -> dict:
         """The fleet ``stats`` payload: aggregate plus per-shard rows.
@@ -609,6 +639,8 @@ class ShardRouter:
             "caches_invalidated": sum(
                 row.get("caches_invalidated", 0) for row in rows
             ),
+            "epoch_mode": self.state.epoch_mode,
+            "delta": self._aggregate_delta(rows),
             "counters": counters,
             "shards": rows,
         }
@@ -663,6 +695,8 @@ class ShardRouter:
                 rows.append(raw)
                 if raw.get("health") == "degraded":
                     payload["reasons"].append(f"shard {shard.index} degraded")
+        payload["epoch_mode"] = self.state.epoch_mode
+        payload["delta_commits"] = self.state.delta_counters["commits"]
         payload["shards"] = rows
         if self.recovered is not None:
             payload["recovered"] = dict(self.recovered)

@@ -13,9 +13,20 @@ change only *when* the work happens, never what any request selects.
 A snapshot is immutable.  When the chain grows (a ``commit`` op), the
 service builds a *new* snapshot with the epoch incremented; requests
 pinned to an older epoch are rejected with ``stale_epoch`` rather than
-silently answered against history they did not ask about.  The old
-snapshot's caches become garbage with it — invalidation is
-whole-snapshot replacement, which is trivially deterministic.
+silently answered against history they did not ask about.  How much of
+the old snapshot's warm state the new one inherits is the service's
+``epoch_mode``:
+
+* ``replace`` (the historical default): the old snapshot's caches
+  become garbage with it — invalidation is whole-snapshot replacement,
+  which is trivially deterministic.
+* ``delta``: the commit is applied as an :class:`EpochDelta` via
+  :meth:`ChainSnapshot.advance` — the solver cache is advanced
+  component-wise, the module decomposition is extended locally under
+  Thm 6.1's superset-or-disjoint rule, and only state the new ring can
+  actually reach is invalidated.  Byte-identical responses to
+  ``replace`` (the caches hold pure derived data), but warm across
+  commits.
 
 With a :class:`~repro.service.partition.TokenPartition` installed the
 snapshot additionally holds one lazily built *sub-snapshot per batch*
@@ -44,7 +55,46 @@ from ..core.ring import Ring, TokenUniverse
 from ..obs import events
 from .partition import TokenPartition
 
-__all__ = ["ChainSnapshot", "ServiceState"]
+__all__ = ["ChainSnapshot", "EpochDelta", "ServiceState", "EPOCH_MODES"]
+
+EPOCH_MODES = ("replace", "delta")
+
+
+@dataclass(slots=True)
+class EpochDelta:
+    """One commit's worth of chain growth, plus what the advance kept.
+
+    The input half is ``ring`` (the accepted ring) and ``touched_batch``
+    (its batch under the partition, ``None`` unpartitioned).  The
+    remaining fields are a report filled in by
+    :meth:`ChainSnapshot.advance`: how much warm state survived the
+    commit and how much was selectively invalidated.  The service
+    accumulates these into the ``delta.*`` counters surfaced by
+    ``stats``/``metrics``.
+    """
+
+    ring: Ring
+    touched_batch: int | None = None
+    worlds_retained: int = 0
+    worlds_invalidated: int = 0
+    kernel_retained: int = 0
+    kernel_invalidated: int = 0
+    modules_extended: int = 0
+    modules_rebuilt: int = 0
+    memo_dropped: int = 0
+    parts_retained: int = 0
+
+    def as_counters(self) -> dict[str, int]:
+        return {
+            "worlds_retained": self.worlds_retained,
+            "worlds_invalidated": self.worlds_invalidated,
+            "kernel_retained": self.kernel_retained,
+            "kernel_invalidated": self.kernel_invalidated,
+            "modules_extended": self.modules_extended,
+            "modules_rebuilt": self.modules_rebuilt,
+            "memo_dropped": self.memo_dropped,
+            "parts_retained": self.parts_retained,
+        }
 
 
 @dataclass(slots=True)
@@ -119,6 +169,74 @@ class ChainSnapshot:
                 self._modules = ModuleUniverse(self.universe, list(self.rings))
             return self._modules
 
+    def advance(self, delta: EpochDelta) -> "ChainSnapshot":
+        """The next epoch's snapshot, keeping warm state the ring misses.
+
+        The replace-mode commit builds a cold snapshot and lets this
+        one's caches die with it.  ``advance`` instead carries every
+        derived structure the new ring provably cannot affect:
+
+        * the :class:`SolverCache` is advanced component-wise
+          (:meth:`SolverCache.advance`) — world sets and kernel states
+          of token-overlap components the ring does not touch survive;
+        * the :class:`ModuleUniverse` is extended locally under the
+          superset-or-disjoint rule (:meth:`ModuleUniverse.extended`,
+          Thm 6.1), falling back to a rebuild when the ring violates
+          configuration 1;
+        * partitioned, untouched batch sub-snapshots are carried whole
+          (universe and rings unchanged — same argument as
+          ``commit(retain_untouched=True)``) and the *touched* batch's
+          sub-snapshot is itself advanced rather than dropped;
+        * the result memo of any snapshot that gained a ring is cleared:
+          a selection is a function of the whole (sub-)history, and the
+          new ring may legally change the chosen ring even for targets
+          in untouched components — only untouched *batches* (disjoint
+          universes) may keep their memo.
+
+        ``self`` is left untouched; in-flight batches pinned to it keep
+        serving against the old epoch.  The result is byte-identical in
+        behavior to a cold rebuild — pinned by the delta-vs-replace
+        equivalence tests.
+        """
+        if self.partition is None:
+            return self._advance_flat(delta, self.epoch + 1)
+        head = ChainSnapshot(
+            epoch=self.epoch + 1,
+            universe=self.universe,
+            rings=self.rings + (delta.ring,),
+            partition=self.partition,
+        )
+        with self._lock:
+            for batch, sub in self._parts.items():
+                if batch == delta.touched_batch:
+                    head._parts[batch] = sub._advance_flat(delta, sub.epoch + 1)
+                else:
+                    head._parts[batch] = sub
+                    delta.parts_retained += 1
+        return head
+
+    def _advance_flat(self, delta: EpochDelta, epoch: int) -> "ChainSnapshot":
+        """Advance an unpartitioned snapshot (or one batch sub-snapshot)."""
+        ring = delta.ring
+        head = ChainSnapshot(
+            epoch=epoch, universe=self.universe, rings=self.rings + (ring,)
+        )
+        with self._lock:
+            if self._cache is not None:
+                head._cache, report = self._cache.advance(ring)
+                delta.worlds_retained += report.worlds_retained
+                delta.worlds_invalidated += report.worlds_invalidated
+                delta.kernel_retained += report.kernel_retained
+                delta.kernel_invalidated += report.kernel_invalidated
+            if self._modules is not None:
+                head._modules, incremental = self._modules.extended(ring)
+                if incremental:
+                    delta.modules_extended += 1
+                else:
+                    delta.modules_rebuilt += 1
+            delta.memo_dropped += len(self._memo)
+        return head
+
     def result_memo(self) -> dict:
         """The snapshot's solved-request memo (hot-target deduplication).
 
@@ -146,7 +264,12 @@ class ServiceState:
         rings: Sequence[Ring] = (),
         partition: TokenPartition | None = None,
         epoch: int = 0,
+        epoch_mode: str = "replace",
     ) -> None:
+        if epoch_mode not in EPOCH_MODES:
+            raise ValueError(
+                f"epoch_mode must be one of {EPOCH_MODES}, got {epoch_mode!r}"
+            )
         self._lock = threading.Lock()
         rings = tuple(rings)
         if partition is not None:
@@ -155,8 +278,20 @@ class ServiceState:
         self._head = ChainSnapshot(
             epoch=epoch, universe=universe, rings=rings, partition=partition
         )
+        self.epoch_mode = epoch_mode
         self.epochs_advanced = 0
         self.caches_invalidated = 0
+        self.delta_counters: dict[str, int] = {
+            "commits": 0,
+            "worlds_retained": 0,
+            "worlds_invalidated": 0,
+            "kernel_retained": 0,
+            "kernel_invalidated": 0,
+            "modules_extended": 0,
+            "modules_rebuilt": 0,
+            "memo_dropped": 0,
+            "parts_retained": 0,
+        }
 
     def current(self) -> ChainSnapshot:
         """The head snapshot (immutable — safe to use without the lock)."""
@@ -170,10 +305,17 @@ class ServiceState:
     def commit(self, ring: Ring, retain_untouched: bool = False) -> ChainSnapshot:
         """Append an accepted ring; returns the new head snapshot.
 
-        By default the new snapshot starts cold (its caches rebuild on
-        first use); the previous epoch's warm state is dropped with the
-        snapshot — that is the deterministic invalidation the epoch
-        counter makes observable.
+        In ``replace`` mode (the default) the new snapshot starts cold
+        (its caches rebuild on first use); the previous epoch's warm
+        state is dropped with the snapshot — that is the deterministic
+        invalidation the epoch counter makes observable.
+
+        In ``delta`` mode the commit routes through
+        :meth:`ChainSnapshot.advance`: warm worlds, kernel states and
+        module decompositions survive for every component/batch the
+        ring does not touch, and the per-commit retention report is
+        accumulated into :attr:`delta_counters`.  ``retain_untouched``
+        is subsumed (delta mode always carries untouched batches).
 
         With ``retain_untouched`` (partitioned states only — shard
         workers use it) the commit carries every batch sub-snapshot the
@@ -193,27 +335,38 @@ class ServiceState:
             touched = None
             if old.partition is not None:
                 touched = old.partition.batch_of_ring(ring.tokens)
-            head = ChainSnapshot(
-                epoch=old.epoch + 1,
-                universe=old.universe,
-                rings=old.rings + (ring,),
-                partition=old.partition,
-            )
-            dropped_warm = old.cache_built
-            if retain_untouched and touched is not None:
-                with old._lock:
-                    carried = {
-                        batch: sub
-                        for batch, sub in old._parts.items()
-                        if batch != touched
-                    }
-                    dropped = old._parts.get(touched)
-                head._parts.update(carried)
-                dropped_warm = dropped is not None and dropped.cache_built
-            self._head = head
-            self.epochs_advanced += 1
-            if dropped_warm:
-                self.caches_invalidated += 1
+            if self.epoch_mode == "delta":
+                delta = EpochDelta(ring=ring, touched_batch=touched)
+                head = old.advance(delta)
+                self._head = head
+                self.epochs_advanced += 1
+                self.delta_counters["commits"] += 1
+                for name, value in delta.as_counters().items():
+                    self.delta_counters[name] += value
+                if delta.worlds_invalidated or delta.memo_dropped:
+                    self.caches_invalidated += 1
+            else:
+                head = ChainSnapshot(
+                    epoch=old.epoch + 1,
+                    universe=old.universe,
+                    rings=old.rings + (ring,),
+                    partition=old.partition,
+                )
+                dropped_warm = old.cache_built
+                if retain_untouched and touched is not None:
+                    with old._lock:
+                        carried = {
+                            batch: sub
+                            for batch, sub in old._parts.items()
+                            if batch != touched
+                        }
+                        dropped = old._parts.get(touched)
+                    head._parts.update(carried)
+                    dropped_warm = dropped is not None and dropped.cache_built
+                self._head = head
+                self.epochs_advanced += 1
+                if dropped_warm:
+                    self.caches_invalidated += 1
         if events.enabled():
             events.emit(events.EpochAdvanced(epoch=head.epoch, rings=len(head.rings)))
         return head

@@ -1,0 +1,473 @@
+"""Delta-mode epoch advance: warm across commits, byte-identical answers.
+
+Three layers of pinning, mirroring the implementation layers:
+
+* the incremental core structures equal their from-scratch rebuilds on
+  randomized histories — :meth:`ModuleUniverse.extended` (Thm 6.1's
+  superset-or-disjoint locality, with a rebuild fallback for
+  configuration-1 violations) and :meth:`SolverCache.advance`
+  (component-wise invalidation: entries keyed off components the new
+  ring does not reach survive, object-identical);
+* :meth:`ChainSnapshot.advance` carries warm state and drops exactly
+  what a commit can affect (the memo always; untouched batch
+  sub-snapshots never), leaving the old snapshot untouched for
+  in-flight batches;
+* a live ``epoch_mode="delta"`` :class:`SelectionService` answers a
+  randomized commit/request interleaving byte-identically (modulo
+  execution coordinates) to the default ``replace`` service, both
+  unpartitioned and partitioned, while surfacing ``delta.*`` retention
+  counters through ``stats``/``health``/``metrics``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.modules import ModuleUniverse, is_superset_or_disjoint
+from repro.core.perf.cache import SolverCache
+from repro.core.perf.kernels import resolve_backend
+from repro.core.ring import Ring, TokenUniverse
+from repro.service import (
+    EPOCH_MODES,
+    EpochDelta,
+    SelectionService,
+    SelectRequest,
+    ServiceConfig,
+    ServiceState,
+    TokenPartition,
+)
+
+C, ELL = 2.0, 2
+
+
+def make_universe(tokens: int = 16, hts: int = 5, seed: int = 7) -> TokenUniverse:
+    rng = random.Random(seed)
+    return TokenUniverse(
+        {f"t{i:02d}": f"h{rng.randrange(hts)}" for i in range(tokens)}
+    )
+
+
+def random_history(
+    rng: random.Random, tokens: list[str], count: int, config1_bias: float = 0.8
+) -> list[Ring]:
+    """A ring history, biased toward (but not limited to) configuration 1."""
+    rings: list[Ring] = []
+    for seq in range(count):
+        members = _random_ring_tokens(rng, tokens, rings, config1_bias)
+        rings.append(Ring(f"r{seq}", members, c=C, ell=ELL, seq=seq))
+    return rings
+
+
+def _random_ring_tokens(
+    rng: random.Random,
+    tokens: list[str],
+    rings: list[Ring],
+    config1_bias: float,
+) -> frozenset[str]:
+    if rings and rng.random() >= config1_bias:
+        # Free-form: frequently overlaps-without-containing some ring.
+        return frozenset(rng.sample(tokens, rng.randint(2, 5)))
+    covered = set().union(*(r.tokens for r in rings)) if rings else set()
+    fresh = [t for t in tokens if t not in covered]
+    if rings and rng.random() < 0.5:
+        # Superset of an existing ring plus some fresh tokens.
+        base = set(rng.choice(rings).tokens)
+        base.update(rng.sample(fresh, min(len(fresh), rng.randint(0, 2))))
+        return frozenset(base)
+    if len(fresh) >= 2:
+        return frozenset(rng.sample(fresh, rng.randint(2, min(4, len(fresh)))))
+    return frozenset(rng.sample(tokens, rng.randint(2, 4)))
+
+
+# -- ModuleUniverse.extended ------------------------------------------------
+
+
+def universe_fingerprint(modules: ModuleUniverse) -> dict:
+    return {
+        "super_rings": [r.rid for r in modules.super_rings],
+        "fresh_tokens": list(modules.fresh_tokens),
+        "modules": [m.mid for m in modules.modules],
+        "module_of": {
+            token: modules.module_of(token).mid for token in modules.universe.tokens
+        },
+        "subset_counts": {
+            r.rid: modules.subset_count_of(r.rid) for r in modules.rings
+        },
+    }
+
+
+def test_extended_matches_rebuild_randomized():
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    incremental_seen = rebuilt_seen = 0
+    for trial in range(120):
+        rng = random.Random(1000 + trial)
+        rings = random_history(rng, tokens, rng.randint(0, 6))
+        base = ModuleUniverse(universe, rings)
+        ring = Ring(
+            "new",
+            _random_ring_tokens(rng, tokens, rings, config1_bias=0.7),
+            c=C,
+            ell=ELL,
+            seq=len(rings),
+        )
+        extended, incremental = base.extended(ring)
+        rebuilt = ModuleUniverse(universe, rings + [ring])
+        assert universe_fingerprint(extended) == universe_fingerprint(rebuilt), (
+            f"trial {trial}: extended decomposition diverged "
+            f"(incremental={incremental})"
+        )
+        if incremental:
+            incremental_seen += 1
+            assert is_superset_or_disjoint(ring.tokens, rings)
+        else:
+            rebuilt_seen += 1
+    # The bias must actually exercise both paths.
+    assert incremental_seen > 20 and rebuilt_seen > 10
+
+
+def test_extended_falls_back_on_stale_seq():
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    rings = [Ring("r0", frozenset(tokens[0:3]), c=C, ell=ELL, seq=5)]
+    base = ModuleUniverse(universe, rings)
+    # Disjoint (config 1 holds) but not newer than the history: the
+    # Def 7 locality argument needs the ring to be later than everything.
+    stale = Ring("new", frozenset(tokens[4:7]), c=C, ell=ELL, seq=5)
+    extended, incremental = base.extended(stale)
+    assert not incremental
+    assert universe_fingerprint(extended) == universe_fingerprint(
+        ModuleUniverse(universe, rings + [stale])
+    )
+
+
+def test_extended_shares_surviving_modules():
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    rings = [
+        Ring("r0", frozenset(tokens[0:3]), c=C, ell=ELL, seq=0),
+        Ring("r1", frozenset(tokens[4:7]), c=C, ell=ELL, seq=1),
+    ]
+    base = ModuleUniverse(universe, rings)
+    ring = Ring("new", frozenset(tokens[0:4]), c=C, ell=ELL, seq=2)
+    extended, incremental = base.extended(ring)
+    assert incremental
+    # r1 is untouched: its Module object (not just its content) survives.
+    assert extended.module_of(tokens[4]) is base.module_of(tokens[4])
+    # r0 was swallowed by the superset: its tokens move to the new super.
+    assert extended.module_of(tokens[0]).mid == "s:new"
+    assert base.module_of(tokens[0]).mid == "s:r0"  # base untouched
+
+
+# -- SolverCache.advance ----------------------------------------------------
+
+
+def component_partition(cache: SolverCache) -> set[frozenset[int]]:
+    return {
+        frozenset(component.ring_indices)
+        for component in cache._components
+        if component.ring_indices
+    }
+
+
+def test_cache_advance_matches_fresh_build_randomized():
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    for trial in range(60):
+        rng = random.Random(2000 + trial)
+        rings = random_history(rng, tokens, rng.randint(1, 6), config1_bias=0.5)
+        cache = SolverCache(universe, rings)
+        # Warm a few worlds entries through the public path.
+        for _ in range(3):
+            probe = rng.sample(tokens, 2)
+            cache.base_worlds(cache.related_key(probe))
+        ring = Ring(
+            "new",
+            frozenset(rng.sample(tokens, rng.randint(2, 4))),
+            c=C,
+            ell=ELL,
+            seq=len(rings),
+        )
+        advanced, report = cache.advance(ring)
+        fresh = SolverCache(universe, rings + [ring])
+        assert component_partition(advanced) == component_partition(fresh), (
+            f"trial {trial}: advanced component partition diverged"
+        )
+        for probe in (rng.sample(tokens, 3) for _ in range(4)):
+            key_a = advanced.related_key(probe)
+            key_f = fresh.related_key(probe)
+            assert [r.rid for r in advanced.related_rings(key_a)] == [
+                r.rid for r in fresh.related_rings(key_f)
+            ], f"trial {trial}: related closure diverged for {probe}"
+        # Every retained entry is object-shared with the old cache and
+        # still describes exactly its key's current closure.
+        assert report.worlds_retained == len(advanced._worlds)
+        for key, worlds in advanced._worlds.items():
+            assert key.isdisjoint(report.touched_components)
+            assert cache._worlds[key] is worlds
+            assert [r.rid for r in advanced.related_rings(key)] == [
+                r.rid for r in worlds.rings
+            ]
+
+
+def test_cache_advance_invalidates_touched_retains_disjoint():
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    rings = [
+        Ring("a", frozenset(tokens[0:3]), c=C, ell=ELL, seq=0),
+        Ring("b", frozenset(tokens[4:7]), c=C, ell=ELL, seq=1),
+    ]
+    cache = SolverCache(universe, rings)
+    key_a = cache.related_key([tokens[0]])
+    key_b = cache.related_key([tokens[4]])
+    cache.base_worlds(key_a)
+    kept = cache.base_worlds(key_b)
+
+    touching = Ring("t", frozenset(tokens[2:5]), c=C, ell=ELL, seq=2)
+    advanced, report = cache.advance(touching)
+    assert report.touched_components == key_a | key_b == frozenset({0, 1})
+    assert report.worlds_retained == 0 and report.worlds_invalidated == 2
+    assert advanced._worlds == {}
+    # Old cache untouched: in-flight requests keep their warm entries.
+    assert cache.base_worlds(key_b) is kept
+    assert cache.stats.worlds_hits == 1
+
+    disjoint = Ring("d", frozenset(tokens[8:11]), c=C, ell=ELL, seq=2)
+    advanced, report = cache.advance(disjoint)
+    assert report.touched_components == frozenset()
+    assert report.worlds_retained == 2 and report.worlds_invalidated == 0
+    assert advanced.base_worlds(advanced.related_key([tokens[4]])) is kept
+    assert advanced.stats.worlds_hits == 1  # fresh stats, warm entry
+
+
+def test_cache_advance_kernel_states_follow_components():
+    backend = resolve_backend("python")
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    rings = [
+        Ring("a", frozenset(tokens[0:3]), c=C, ell=ELL, seq=0),
+        Ring("b", frozenset(tokens[4:7]), c=C, ell=ELL, seq=1),
+    ]
+    cache = SolverCache(universe, rings)
+    key_a = cache.related_key([tokens[0]])
+    key_b = cache.related_key([tokens[4]])
+    state_a = cache.kernel_state(key_a, backend)
+    state_b = cache.kernel_state(key_b, backend)
+
+    touching_a = Ring("t", frozenset(tokens[0:2]), c=C, ell=ELL, seq=2)
+    advanced, report = cache.advance(touching_a)
+    assert report.kernel_retained == 1 and report.kernel_invalidated == 1
+    assert advanced.kernel_state(key_b, backend) is state_b
+    assert advanced.stats.kernel_builds == 0
+    rebuilt_a = advanced.kernel_state(
+        advanced.related_key([tokens[0]]), backend
+    )
+    assert rebuilt_a is not state_a
+    assert advanced.stats.kernel_builds == 1
+
+
+# -- ChainSnapshot.advance / ServiceState -----------------------------------
+
+
+def test_snapshot_advance_unpartitioned():
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    rings = (
+        Ring("a", frozenset(tokens[0:3]), c=C, ell=ELL, seq=0),
+        Ring("b", frozenset(tokens[4:7]), c=C, ell=ELL, seq=1),
+    )
+    state = ServiceState(universe, rings, epoch_mode="delta")
+    snap = state.current()
+    cache = snap.solver_cache()
+    cache.base_worlds(cache.related_key([tokens[0]]))
+    kept = cache.base_worlds(cache.related_key([tokens[4]]))
+    snap.module_universe()
+    snap.result_memo()["memo-key"] = "memo-value"
+
+    ring = Ring("new", frozenset(tokens[0:2]), c=C, ell=ELL, seq=2)
+    head = state.commit(ring)
+
+    assert head.epoch == snap.epoch + 1
+    assert head.rings == rings + (ring,)
+    # The warm entry of the untouched component survived, the memo died.
+    new_cache = head.solver_cache()
+    assert new_cache.base_worlds(new_cache.related_key([tokens[4]])) is kept
+    assert head.result_memo() == {}
+    # The old snapshot still serves in-flight batches unchanged.
+    assert snap.result_memo() == {"memo-key": "memo-value"}
+    assert snap.solver_cache() is cache
+    counters = state.delta_counters
+    assert counters["commits"] == 1
+    assert counters["worlds_retained"] == 1
+    assert counters["worlds_invalidated"] == 1
+    assert counters["modules_extended"] + counters["modules_rebuilt"] == 1
+    assert counters["memo_dropped"] == 1
+    assert state.caches_invalidated == 1
+
+
+def test_snapshot_advance_partitioned_carries_untouched_batches():
+    universe = make_universe(tokens=24, hts=6, seed=3)
+    part = TokenPartition(universe, batches=4)
+    state = ServiceState(universe, (), partition=part, epoch_mode="delta")
+    snap = state.current()
+    touched_token = part.tokens_of(0)[0]
+    kept_token = part.tokens_of(2)[0]
+    touched_view = snap.solve_view(touched_token)
+    touched_view.solver_cache()
+    touched_view.result_memo()["k"] = "v"
+    kept_view = snap.solve_view(kept_token)
+    kept_view.solver_cache()
+    kept_view.result_memo()["k"] = "v"
+
+    ring = Ring("c0", frozenset(part.tokens_of(0)[0:3]), c=C, ell=ELL, seq=0)
+    head = state.commit(ring)
+
+    # Untouched batch: the whole sub-snapshot (memo included) is carried
+    # by identity — its (universe, rings) pair did not move.
+    assert head.solve_view(kept_token) is kept_view
+    assert head.solve_view(kept_token).result_memo() == {"k": "v"}
+    # Touched batch: advanced (new sub-snapshot, ring appended, memo gone).
+    new_touched = head.solve_view(touched_token)
+    assert new_touched is not touched_view
+    assert [r.rid for r in new_touched.rings] == ["c0"]
+    assert new_touched.epoch == touched_view.epoch + 1
+    assert new_touched.result_memo() == {}
+    assert state.delta_counters["parts_retained"] == 1
+    assert state.delta_counters["memo_dropped"] == 1
+
+
+def test_epoch_mode_is_validated():
+    universe = make_universe()
+    with pytest.raises(ValueError, match="epoch_mode"):
+        ServiceState(universe, epoch_mode="incremental")
+    with pytest.raises(ValueError, match="epoch_mode"):
+        SelectionService(
+            universe, (), ServiceConfig(telemetry=False, epoch_mode="bogus")
+        )
+    assert EPOCH_MODES == ("replace", "delta")
+
+
+def test_epoch_delta_counter_names_match_state():
+    universe = make_universe()
+    state = ServiceState(universe, epoch_mode="delta")
+    reported = set(EpochDelta(ring=None).as_counters())
+    assert reported == set(state.delta_counters) - {"commits"}
+
+
+# -- live service: delta vs replace equivalence ------------------------------
+
+
+def interleaving_script(
+    rng: random.Random,
+    universe: TokenUniverse,
+    steps: int,
+    partition: TokenPartition | None = None,
+):
+    """A randomized commit/request interleaving (commit ~1 in 4 steps).
+
+    Partitioned, commit members are drawn from a single batch slice —
+    the batch-locality the partition contract enforces.
+    """
+    tokens = sorted(universe.tokens)
+    script, committed = [], 0
+    for step in range(steps):
+        if rng.random() < 0.25:
+            pool = tokens
+            if partition is not None:
+                pool = sorted(partition.tokens_of(rng.randrange(partition.batches)))
+            members = tuple(rng.sample(pool, min(len(pool), rng.randint(2, 4))))
+            script.append(("commit", f"c{committed}", members))
+            committed += 1
+        else:
+            script.append(("select", f"q{step}", rng.choice(tokens)))
+    return script
+
+
+def run_script(mode: str, universe: TokenUniverse, script, partition=None):
+    config = ServiceConfig(telemetry=False, epoch_mode=mode, partition=partition)
+    responses = []
+    with SelectionService(universe, (), config) as service:
+        for step in script:
+            if step[0] == "commit":
+                _, rid, members = step
+                try:
+                    service.commit_ring(tokens=members, c=C, ell=ELL, rid=rid)
+                except ValueError:
+                    # Partitioned: a spanning commit is rejected the
+                    # same way in both modes — skip it in both.
+                    pass
+            else:
+                _, request_id, target = step
+                responses.append(
+                    service.submit_wait(
+                        SelectRequest(
+                            request_id=request_id,
+                            target=target,
+                            c=C,
+                            ell=ELL,
+                            mode="exact",
+                        ),
+                        timeout=120.0,
+                    )
+                )
+        stats = service.stats()
+    return responses, stats
+
+
+def canon(response) -> dict:
+    payload = response.to_dict()
+    for key in ("elapsed", "batch_id", "batch_size", "warm_cache"):
+        payload.pop(key, None)
+    attrs = payload.get("attrs")
+    if attrs is not None:
+        attrs.pop("memo", None)
+        if not attrs:
+            payload.pop("attrs")
+    return payload
+
+
+@pytest.mark.parametrize("batches", [None, 3])
+def test_delta_matches_replace_under_interleaving(batches):
+    universe = make_universe(tokens=12, hts=4, seed=11)
+    part = None if batches is None else TokenPartition(universe, batches=batches)
+    script = interleaving_script(random.Random(42), universe, 24, partition=part)
+    replace, _ = run_script("replace", universe, script, partition=part)
+    delta, stats = run_script("delta", universe, script, partition=part)
+    assert [canon(r) for r in delta] == [canon(r) for r in replace]
+    assert stats["delta"]["commits"] == stats["epochs_advanced"] > 0
+
+
+def test_delta_counters_surface_in_stats_health_metrics():
+    universe = make_universe(tokens=12, hts=4, seed=11)
+    tokens = sorted(universe.tokens)
+    config = ServiceConfig(telemetry=False, epoch_mode="delta")
+    with SelectionService(universe, (), config) as service:
+        service.submit_wait(
+            SelectRequest(
+                request_id="warm", target=tokens[0], c=C, ell=ELL, mode="exact"
+            ),
+            timeout=120.0,
+        )
+        service.commit_ring(tokens=tokens[0:3], c=C, ell=ELL, rid="c0")
+        stats = service.stats()
+        health = service.health()
+        metrics = service.metrics_text()
+    assert stats["epoch_mode"] == "delta"
+    assert stats["delta"]["commits"] == 1
+    assert stats["delta"]["memo_dropped"] >= 1
+    assert health["epoch_mode"] == "delta"
+    assert health["delta_commits"] == 1
+    assert "repro_service_delta_commits_total 1" in metrics
+    assert "repro_service_delta_worlds_retained_total" in metrics
+
+
+def test_replace_mode_reports_zero_delta_counters():
+    universe = make_universe(tokens=12, hts=4, seed=11)
+    tokens = sorted(universe.tokens)
+    with SelectionService(universe, (), ServiceConfig(telemetry=False)) as service:
+        service.commit_ring(tokens=tokens[0:3], c=C, ell=ELL, rid="c0")
+        stats = service.stats()
+    assert stats["epoch_mode"] == "replace"
+    assert all(value == 0 for value in stats["delta"].values())

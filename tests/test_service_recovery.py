@@ -445,6 +445,73 @@ def test_daemon_recovery_matches_uncrashed_twin(tmp_path):
         assert "repro_service_recovered_frames_replayed 1" in twin.metrics_text()
 
 
+def test_recovery_replay_equivalent_in_both_epoch_modes(tmp_path):
+    """Journal replay lands on the same answers under replace and delta.
+
+    The WAL records chain growth, not cache policy — ``epoch_mode`` is
+    a serving knob of the daemon that replays it.  A crashed delta-mode
+    daemon may therefore be recovered into either mode (and vice
+    versa): both twins, *and* their post-recovery delta/replace
+    commits, must answer byte-identically to the uncrashed reference.
+    """
+    universe = recovery_universe()
+    part = TokenPartition(universe, batches=4)
+    commits = [
+        (f"r{i}", sorted(part.tokens_of(i)[0:3])) for i in range(4)
+    ]
+
+    journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
+    journal.append_genesis(universe, (), 4)
+    with SelectionService(
+        universe,
+        config=ServiceConfig(journal=journal, partition=4, epoch_mode="delta"),
+    ) as crashed:
+        for i, (rid, tokens) in enumerate(commits):
+            # Warm each batch between commits so the delta advances
+            # exercised here actually carry state, not empty caches.
+            crashed.submit_wait(
+                SelectRequest(request_id=f"w{i}",
+                              target=part.tokens_of(i)[4],
+                              c=2.0, ell=2, mode="exact"),
+                timeout=60.0,
+            )
+            crashed.commit_ring(tokens, c=1.0, ell=1, rid=rid)
+
+    recovered = Journal(tmp_path / "j").recover()
+    assert recovered.epoch == 4
+    twins = {
+        mode: SelectionService(
+            recovered.universe,
+            recovered.rings,
+            ServiceConfig(partition=recovered.batches, epoch_mode=mode),
+            epoch=recovered.epoch,
+            recovered=recovered.recovery,
+        )
+        for mode in ("replace", "delta")
+    }
+    uncrashed = SelectionService(universe, config=ServiceConfig(partition=4))
+    for rid, tokens in commits:
+        uncrashed.commit_ring(tokens, c=1.0, ell=1, rid=rid)
+    extra = ("r4", sorted(part.tokens_of(1)[0:2]))
+    with twins["replace"], twins["delta"], uncrashed:
+        # One more commit *after* recovery: the delta twin advances its
+        # recovered snapshot incrementally, the replace twin rebuilds.
+        for service in (*twins.values(), uncrashed):
+            service.commit_ring(extra[1], c=1.0, ell=1, rid=extra[0])
+        for request in select_battery(part):
+            baseline = uncrashed.submit_wait(request, timeout=60.0)
+            assert baseline.epoch == 5
+            for mode, twin in twins.items():
+                answer = twin.submit_wait(request, timeout=60.0)
+                assert answer.epoch == 5
+                assert canon(answer) == canon(baseline), (
+                    f"{mode}-mode recovered twin diverged on "
+                    f"{request.request_id}"
+                )
+        assert twins["delta"].stats()["delta"]["commits"] == 1
+        assert twins["replace"].stats()["delta"]["commits"] == 0
+
+
 def test_journaled_commit_is_idempotent_by_rid(tmp_path):
     universe = recovery_universe()
     journal = Journal(tmp_path / "j", sync_every=1, snapshot_every=0)
