@@ -177,12 +177,18 @@ class ModuleUniverse:
         * subset counts v_i grow only where ``ring.tokens <= r.tokens``.
 
         Everything else — surviving :class:`Module` objects included —
-        is shared with ``self``.  Any other ring (stale seq, or a
-        configuration-1 violation) falls back to a full rebuild.
+        is shared with ``self``.  Any other ring (stale seq, a reused
+        rid, or a configuration-1 violation) falls back to a full
+        rebuild.  The rid guard matters: the incremental path keys
+        super-RS modules by ``s:{rid}``, so a duplicate rid would
+        silently alias the old super ring's module slot to the new
+        ring's tokens, while the rebuild keeps both rings distinct.
         """
         max_seq = max((r.seq for r in self.rings), default=None)
-        if (max_seq is not None and ring.seq <= max_seq) or not is_superset_or_disjoint(
-            ring.tokens, self.rings
+        if (
+            (max_seq is not None and ring.seq <= max_seq)
+            or any(r.rid == ring.rid for r in self.rings)
+            or not is_superset_or_disjoint(ring.tokens, self.rings)
         ):
             return ModuleUniverse(self.universe, self.rings + [ring]), False
 

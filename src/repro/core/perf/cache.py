@@ -189,22 +189,30 @@ class SolverCache:
                         new._component_of_token[token] = target
             for token in ring.tokens:
                 new._component_of_token[token] = target
+        # Solver threads may still be filling this (old) cache while a
+        # commit thread advances it: filter atomic snapshots (dict.copy
+        # holds the GIL for the whole copy) rather than iterating the
+        # live dicts, which would race those inserts/pops and raise
+        # "dictionary changed size during iteration".  Entries landing
+        # after the copy are merely cold misses in the new cache.
+        worlds_snapshot = self._worlds.copy()
+        kernel_snapshot = self._kernel_states.copy()
         new._worlds = {
             key: worlds
-            for key, worlds in self._worlds.items()
+            for key, worlds in worlds_snapshot.items()
             if key.isdisjoint(touched)
         }
         new._kernel_states = {
             state_key: entry
-            for state_key, entry in self._kernel_states.items()
+            for state_key, entry in kernel_snapshot.items()
             if state_key[0].isdisjoint(touched)
         }
         report = CacheAdvance(
             touched_components=touched,
             worlds_retained=len(new._worlds),
-            worlds_invalidated=len(self._worlds) - len(new._worlds),
+            worlds_invalidated=len(worlds_snapshot) - len(new._worlds),
             kernel_retained=len(new._kernel_states),
-            kernel_invalidated=len(self._kernel_states) - len(new._kernel_states),
+            kernel_invalidated=len(kernel_snapshot) - len(new._kernel_states),
         )
         return new, report
 

@@ -343,7 +343,15 @@ class ServiceState:
                 self.delta_counters["commits"] += 1
                 for name, value in delta.as_counters().items():
                     self.delta_counters[name] += value
-                if delta.worlds_invalidated or delta.memo_dropped:
+                # Keep the replace-mode meaning ("warm solver state was
+                # dropped"): memo drops happen on every delta commit and
+                # would turn this into a commit counter; they are already
+                # visible as delta.memo_dropped.
+                if (
+                    delta.worlds_invalidated
+                    or delta.kernel_invalidated
+                    or delta.modules_rebuilt
+                ):
                     self.caches_invalidated += 1
             else:
                 head = ChainSnapshot(

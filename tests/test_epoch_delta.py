@@ -22,6 +22,8 @@ Three layers of pinning, mirroring the implementation layers:
 from __future__ import annotations
 
 import random
+import sys
+import threading
 
 import pytest
 
@@ -141,6 +143,25 @@ def test_extended_falls_back_on_stale_seq():
     assert universe_fingerprint(extended) == universe_fingerprint(
         ModuleUniverse(universe, rings + [stale])
     )
+
+
+def test_extended_falls_back_on_duplicate_rid():
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    rings = [
+        Ring("r0", frozenset(tokens[0:2]), c=C, ell=ELL, seq=0),
+        Ring("r1", frozenset(tokens[4:6]), c=C, ell=ELL, seq=1),
+    ]
+    base = ModuleUniverse(universe, rings)
+    # Newer and disjoint (config 1 holds) but reusing a surviving super
+    # RS's rid: the incremental path keys super-RS modules by "s:<rid>",
+    # so taking it would alias r1's module slot to the new ring's tokens.
+    dup = Ring("r1", frozenset(tokens[8:10]), c=C, ell=ELL, seq=2)
+    extended, incremental = base.extended(dup)
+    assert not incremental
+    # The surviving super ring keeps its own tokens.
+    assert extended.module_of(tokens[4]).tokens == frozenset(tokens[4:6])
+    assert extended.module_of(tokens[8]).tokens == frozenset(tokens[8:10])
 
 
 def test_extended_shares_surviving_modules():
@@ -268,6 +289,54 @@ def test_cache_advance_kernel_states_follow_components():
     assert advanced.stats.kernel_builds == 1
 
 
+def test_cache_advance_is_atomic_under_concurrent_fills():
+    """advance() must filter atomic snapshots of the warm dicts.
+
+    Solver threads keep inserting worlds/kernel entries into the *old*
+    cache while a delta commit advances it on a connection thread.
+    Iterating the live dicts raced those inserts and raised
+    "dictionary changed size during iteration", failing a commit the
+    journal had already recorded.
+    """
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    rings = [
+        Ring("a", frozenset(tokens[0:3]), c=C, ell=ELL, seq=0),
+        Ring("b", frozenset(tokens[4:7]), c=C, ell=ELL, seq=1),
+    ]
+    cache = SolverCache(universe, rings)
+    # Seed enough entries that the filtering pass spans many thread
+    # switches.  Synthetic component ids are fine: advance only looks
+    # at the keys.
+    for i in range(4000):
+        cache._worlds[frozenset({100 + i})] = None
+        cache._kernel_states[(frozenset({100 + i}), "python")] = (None, None)
+    ring = Ring("t", frozenset(tokens[0:2]), c=C, ell=ELL, seq=2)
+    stop = threading.Event()
+
+    def filler() -> None:
+        i = 10**6
+        while not stop.is_set():
+            cache._worlds[frozenset({i})] = None
+            cache._kernel_states[(frozenset({i}), "python")] = (None, None)
+            i += 1
+
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    thread = threading.Thread(target=filler, daemon=True)
+    thread.start()
+    try:
+        for _ in range(30):
+            advanced, report = cache.advance(ring)
+            # The report describes exactly the snapshot that was filtered.
+            assert report.worlds_retained == len(advanced._worlds)
+            assert report.kernel_retained == len(advanced._kernel_states)
+    finally:
+        stop.set()
+        thread.join()
+        sys.setswitchinterval(old_interval)
+
+
 # -- ChainSnapshot.advance / ServiceState -----------------------------------
 
 
@@ -304,6 +373,40 @@ def test_snapshot_advance_unpartitioned():
     assert counters["worlds_invalidated"] == 1
     assert counters["modules_extended"] + counters["modules_rebuilt"] == 1
     assert counters["memo_dropped"] == 1
+    assert state.caches_invalidated == 1
+
+
+def test_delta_memo_only_commit_is_not_a_cache_invalidation():
+    """caches_invalidated keeps its replace-mode meaning in delta mode.
+
+    The request memo dies on *every* commit (a selection is a function
+    of the whole history), so counting memo drops would turn the
+    counter into a commit counter.  Only dropped warm solver state —
+    worlds, kernel states, a module rebuild — counts.
+    """
+    universe = make_universe()
+    tokens = sorted(universe.tokens)
+    rings = (Ring("a", frozenset(tokens[0:3]), c=C, ell=ELL, seq=0),)
+    state = ServiceState(universe, rings, epoch_mode="delta")
+    snap = state.current()
+    cache = snap.solver_cache()
+    cache.base_worlds(cache.related_key([tokens[0]]))
+    snap.module_universe()
+    snap.result_memo()["memo-key"] = "memo-value"
+
+    # Disjoint from every warm component, config-1 clean: only the memo
+    # is dropped.
+    state.commit(Ring("d", frozenset(tokens[8:11]), c=C, ell=ELL, seq=1))
+    counters = state.delta_counters
+    assert counters["memo_dropped"] == 1
+    assert counters["worlds_invalidated"] == 0
+    assert counters["kernel_invalidated"] == 0
+    assert counters["modules_rebuilt"] == 0
+    assert state.caches_invalidated == 0
+
+    # A ring that reaches warm state still counts.
+    state.commit(Ring("t", frozenset(tokens[0:2]), c=C, ell=ELL, seq=2))
+    assert state.delta_counters["worlds_invalidated"] == 1
     assert state.caches_invalidated == 1
 
 
